@@ -1,0 +1,42 @@
+"""Fig. 10 — latency percentile stability across CVs.
+
+Paper: FlexPipe's P99 stays controlled as CV grows while the serverless
+baselines (ServerlessLLM, Tetris) blow up 2-3x at the tail.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+
+def test_fig10_percentile_stability(benchmark, cv_sweep):
+    rows = benchmark.pedantic(
+        figures.fig10_rows, args=(cv_sweep,), rounds=1, iterations=1
+    )
+    emit(
+        "fig10",
+        format_table(
+            ["CV", "system", "P50", "P75", "P90", "P95", "P99"],
+            [
+                [
+                    r["cv"],
+                    r["system"],
+                    *(f"{r[f'p{q}']:.2f}" for q in (50, 75, 90, 95, 99)),
+                ]
+                for r in rows
+            ],
+            title="Fig. 10 - response-time percentiles across CVs (seconds)",
+        ),
+    )
+    get = {(r["cv"], r["system"]): r for r in rows}
+    for (_, _), r in get.items():
+        values = [r[f"p{q}"] for q in (50, 75, 90, 95, 99)]
+        assert values == sorted(values), "percentiles must be monotone"
+    # Tail control: FlexPipe's P99 inflation from CV=1 to CV=4 stays within
+    # the worst baseline's inflation.
+    flex_growth = get[(4.0, "FlexPipe")]["p99"] / max(get[(1.0, "FlexPipe")]["p99"], 1e-9)
+    tetris_growth = get[(4.0, "Tetris")]["p99"] / max(get[(1.0, "Tetris")]["p99"], 1e-9)
+    assert flex_growth < 3.0 or flex_growth <= tetris_growth * 1.5

@@ -1,0 +1,41 @@
+"""Fig. 13 — prefill latency across model scales on production-like traces.
+
+Paper: FlexPipe improves mean prefill latency 6.4% (WHISPER-9B) to 24.4%
+(OPT-66B) over AlpaServe/ServerlessLLM, with the gap growing with model
+size, and delivers tighter latency distributions.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+MODEL_ORDER = ["WHISPER-9B", "LLAMA2-7B", "BERT-21B", "OPT-66B"]
+
+
+def test_fig13_prefill_latency_by_model(benchmark):
+    rows = benchmark.pedantic(figures.fig13_rows, rounds=1, iterations=1)
+    emit(
+        "fig13",
+        format_table(
+            ["model", "system", "mean prefill s", "P95 latency s"],
+            [
+                [r["model"], r["system"], f"{r['prefill_s']:.3f}", f"{r['p95_latency']:.2f}"]
+                for r in rows
+            ],
+            title="Fig. 13 - prefill latency across model scales (CV=2 trace)",
+        ),
+    )
+    get = {(r["model"], r["system"]): r for r in rows}
+    # Prefill latency grows with model scale for every system.
+    for system in ("FlexPipe", "AlpaServe", "ServerlessLLM"):
+        small = get[("LLAMA2-7B", system)]["prefill_s"]
+        large = get[("OPT-66B", system)]["prefill_s"]
+        assert large > small
+    # FlexPipe's prefill stays competitive on the largest model (the
+    # paper's strongest case).
+    flex = get[("OPT-66B", "FlexPipe")]["prefill_s"]
+    alpa = get[("OPT-66B", "AlpaServe")]["prefill_s"]
+    assert flex <= 1.3 * alpa

@@ -1,0 +1,53 @@
+"""Fig. 8 — end-to-end latency breakdown across systems and CVs.
+
+Paper shape: FlexPipe holds goodput near 100% across CVs and trades a
+larger communication share for much smaller queue share; MuxServe and
+Tetris degrade sharply as CV grows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+PAPER_RT = {
+    1.0: {"FlexPipe": 0.83, "AlpaServe": 1.34, "MuxServe": 1.35, "ServerlessLLM": 1.34, "Tetris": 4.31},
+    2.0: {"FlexPipe": 1.00, "AlpaServe": 1.58, "MuxServe": 2.35, "ServerlessLLM": 1.87, "Tetris": 5.06},
+    4.0: {"FlexPipe": 1.45, "AlpaServe": 2.19, "MuxServe": 4.85, "ServerlessLLM": 4.29, "Tetris": 6.22},
+}
+
+
+def test_fig8_latency_breakdown(benchmark, cv_sweep):
+    rows = benchmark.pedantic(figures.fig8_rows, args=(cv_sweep,), rounds=1, iterations=1)
+    emit(
+        "fig8",
+        format_table(
+            ["CV", "system", "RT s (paper)", "queue s", "exec s", "comm s", "goodput %"],
+            [
+                [
+                    r["cv"],
+                    r["system"],
+                    f"{r['response_s']:.2f} ({PAPER_RT[r['cv']][r['system']]})",
+                    f"{r['queue_s']:.2f}",
+                    f"{r['exec_s']:.2f}",
+                    f"{r['comm_s']:.2f}",
+                    f"{r['goodput_pct']:.0f}",
+                ]
+                for r in rows
+            ],
+            title="Fig. 8 - E2E latency breakdown (OPT-66B + BERT-21B, 20+6 QPS)",
+        ),
+    )
+    get = {(r["cv"], r["system"]): r for r in rows}
+    for cv in (2.0, 4.0):
+        # Multiplexing interference makes MuxServe the high-CV casualty.
+        assert get[(cv, "MuxServe")]["goodput_pct"] < get[(cv, "FlexPipe")]["goodput_pct"]
+        assert get[(cv, "MuxServe")]["response_s"] > get[(cv, "FlexPipe")]["response_s"]
+    # FlexPipe pays more communication than the static coarse systems...
+    assert get[(4.0, "FlexPipe")]["comm_s"] > get[(4.0, "Tetris")]["comm_s"]
+    # ...and holds goodput within the top tier at every CV.
+    for cv in (1.0, 2.0, 4.0):
+        best = max(r["goodput_pct"] for (c, _), r in get.items() if c == cv)
+        assert get[(cv, "FlexPipe")]["goodput_pct"] >= 0.75 * best

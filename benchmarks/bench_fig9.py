@@ -1,0 +1,46 @@
+"""Fig. 9 — burst absorption under extreme variability (CV=8, 300 s).
+
+Paper: 15-second window CVs fluctuate widely; FlexPipe's response-time
+series stays flat while MuxServe sustains high latencies and AlpaServe
+spikes periodically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import figures
+from repro.metrics.report import format_table
+
+
+def test_fig9_burst_absorption(benchmark):
+    series = benchmark.pedantic(figures.fig9_series, rounds=1, iterations=1)
+    rows = []
+    for name, data in series.items():
+        rt = list(data["rt_series"].values())
+        rows.append(
+            [
+                name,
+                f"{data['mean_latency']:.2f}",
+                f"{max(rt):.2f}" if rt else "-",
+                f"{np.std(rt):.2f}" if rt else "-",
+                f"{data['p99']:.2f}",
+            ]
+        )
+    emit(
+        "fig9",
+        format_table(
+            ["system", "mean RT s", "worst 15s-window RT", "RT std", "P99"],
+            rows,
+            title="Fig. 9 - burst absorption at CV=8 (warm 300 s window, MMPP bursts)",
+        ),
+    )
+    flex = series["FlexPipe"]
+    mux = series["MuxServe"]
+    # MuxServe (multiplexing two tenants) sustains higher latency through
+    # the bursts than FlexPipe once both are warm.
+    assert mux["mean_latency"] > flex["mean_latency"]
+    # Arrival-count series confirms the bursts were actually extreme.
+    counts = list(flex["arrival_counts"].values())
+    assert max(counts) > 4 * max(np.median(counts), 1)

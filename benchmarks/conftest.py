@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and result emission.
+
+Every benchmark prints its paper-vs-measured table and writes it to
+``benchmarks/_results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import figures
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/_results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def cv_sweep():
+    """The five-system CV sweep shared by Figs. 8, 10, 11 and 12.
+
+    Running it once per session keeps the full benchmark suite tractable
+    (15 full-cluster simulations).
+    """
+    return figures.system_sweep()

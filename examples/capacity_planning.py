@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Capacity planning with the queueing package (Eq. 1, Insight 3).
+
+Before deploying anything, an operator can answer three sizing questions
+analytically:
+
+1. how many replicas does a latency target need at a given load?
+   (Erlang-C / M/M/s)
+2. how deep should each replica's pipeline be for the expected
+   burstiness?  (the paper's extended G/G/S model - S grows like sqrt(CV))
+3. how many micro-batches amortise the pipeline bubble?  (GPipe bound)
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.queueing import (
+    GG1Station,
+    GGSModel,
+    bubble_fraction,
+    erlang_c,
+    microbatches_for_bubble,
+    mms_mean_wait,
+    mms_wait_quantile,
+    optimal_stage_count,
+    pipeline_delay,
+    servers_for_wait,
+)
+
+
+def replica_sizing() -> None:
+    print("=== 1. replica count for a 200 ms queueing budget ===")
+    service_rate = 2.5  # batches/s one replica sustains
+    for qps in (5.0, 10.0, 20.0, 40.0):
+        n = servers_for_wait(qps, service_rate, target_wait=0.2)
+        wait = mms_mean_wait(qps, service_rate, n)
+        p_wait = erlang_c(qps, service_rate, n)
+        p99 = mms_wait_quantile(qps, service_rate, n, 0.99)
+        print(
+            f"  {qps:5.0f} req/s -> {n:2d} replicas  "
+            f"(mean wait {wait * 1e3:5.1f} ms, P(wait) {p_wait:.0%}, "
+            f"P99 wait {p99 * 1e3:6.1f} ms)"
+        )
+
+
+def pipeline_depth() -> None:
+    print("\n=== 2. pipeline depth vs burstiness (Insight 3) ===")
+    stage_counts = (4, 8, 16, 32)
+    hop = 0.030  # per-hop register/communication delay (s)
+    for cv in (0.5, 1.0, 2.0, 4.0, 8.0):
+        best = optimal_stage_count(cv, candidates=stage_counts)
+        # The paper's trade-off, term by term: Eq. 1's burst (queue) term
+        # shrinks with depth because each finer stage serves faster, while
+        # the deterministic register chain grows by one hop per stage.
+        delays = {}
+        for s in stage_counts:
+            mu = 24.0 * s / 4  # finer stage -> higher per-stage service rate
+            burst = GGSModel(
+                arrival_rate=20.0,
+                cv_arrival=cv,
+                stage_service_rates=tuple([mu] * s),
+                cv_service=0.5,
+            ).queue_latency()
+            delays[s] = burst + pipeline_delay(s, 1.0 / mu, hop)
+        winner = min(delays, key=delays.get)
+        ranked = " ".join(f"S={s}:{d:.2f}s" for s, d in delays.items())
+        print(f"  CV={cv:>4}: rule S={best:<3} model winner S={winner:<3} ({ranked})")
+    print("  -> the optimum deepens roughly like sqrt(CV), the paper's rule.")
+
+
+def per_stage_station() -> None:
+    print("\n=== 3. one stage as a G/G/1 station ===")
+    for cv in (1.0, 2.0, 4.0):
+        station = GG1Station(
+            arrival_rate=18.0, service_time=0.04, cv_arrival=cv, cv_service=0.5
+        )
+        print(
+            f"  CV={cv}: rho={station.utilization:.0%}, "
+            f"mean wait {station.mean_wait() * 1e3:.1f} ms, "
+            f"queue {station.mean_queue_length():.1f} requests"
+        )
+
+
+def bubble_budget() -> None:
+    print("\n=== 4. micro-batches to amortise the pipeline bubble ===")
+    for stages in (4, 8, 16, 32):
+        m = microbatches_for_bubble(stages, max_bubble=0.10)
+        print(
+            f"  S={stages:>2}: {m:>3} micro-batches keep the bubble at "
+            f"{bubble_fraction(stages, m):.1%}"
+        )
+
+
+def eq1_sanity() -> None:
+    print("\n=== 5. Eq. 1 evaluated directly ===")
+    for stages in (4, 16):
+        model = GGSModel(
+            arrival_rate=20.0,
+            cv_arrival=4.0,
+            stage_service_rates=tuple([30.0 * stages / 4] * stages),
+            cv_service=0.5,
+        )
+        print(f"  S={stages:>2}: T_total = {model.total_delay():.3f}s")
+
+
+def main() -> None:
+    replica_sizing()
+    pipeline_depth()
+    per_stage_station()
+    bubble_budget()
+    eq1_sanity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: serve LLAMA2-7B with FlexPipe on a simulated cluster.
+
+Builds the paper's 42-server / 82-GPU fragmented cluster, deploys FlexPipe,
+replays two minutes of Poisson traffic, and prints the serving report.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FlexPipeSystem,
+    LLAMA2_7B,
+    PoissonArrivals,
+    RandomStreams,
+    RequestSampler,
+    ServingContext,
+    Simulator,
+    WorkloadGenerator,
+    make_paper_cluster,
+)
+from repro.cluster.fragmentation import FragmentationModel
+
+
+def main() -> None:
+    # 1. The simulated environment: event engine, cluster, background load.
+    sim = Simulator()
+    streams = RandomStreams(seed=0)
+    cluster = make_paper_cluster(sim)
+    fragmentation = FragmentationModel(sim, cluster, streams)
+    fragmentation.warm_up()  # pre-fragment like a long-running fleet
+    print(
+        f"cluster: {len(cluster.servers)} servers / {cluster.gpu_count} GPUs, "
+        f"subscription {cluster.subscription_rate():.0%}, "
+        f"P(GPU >=85% free) = {cluster.free_gpu_probability():.1%}"
+    )
+
+    # 2. The serving system.
+    ctx = ServingContext.create(sim, cluster, streams)
+    system = FlexPipeSystem(ctx, [LLAMA2_7B], initial_replicas=1)
+    system.start()
+    sim.run(until=60.0)  # let the initial replica load its stages
+
+    # 3. Traffic: 15 req/s Poisson for two minutes.
+    sampler = RequestSampler(LLAMA2_7B.name, streams.stream("requests"))
+    WorkloadGenerator(
+        sim,
+        PoissonArrivals(15.0, streams.stream("arrivals")),
+        sampler,
+        system.submit,
+        duration=120.0,
+    )
+    sim.run(until=60.0 + 120.0 + 30.0)  # serve + drain
+    system.shutdown()
+    fragmentation.stop()
+
+    # 4. The report.
+    summary = system.summarize(150.0)
+    print(f"\n--- {summary.system} served {summary.completed}/{summary.offered} requests ---")
+    print(f"goodput      : {summary.goodput_rate:.1%} within the {sampler.slo_latency:.0f}s SLO")
+    print(f"mean latency : {summary.mean_latency:.2f}s  ({summary.breakdown})")
+    print(f"P99 latency  : {summary.latency_percentiles[99]:.2f}s")
+    print(f"GPU holding  : {summary.gpus_used} GPUs at {summary.gpu_utilization:.0%} utilization")
+    print(f"operations   : {summary.scale_out_count} scale-outs, {summary.refactor_count} inflight refactors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Allows ``pip install -e . --no-use-pep517`` in offline environments that
+lack the ``wheel`` package (PEP 660 editable installs require it).
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Baseline serving systems (§9 comparison set).
+
+Policy-faithful models of the four comparators, all running on the same
+substrate (cluster, cost model, pipeline runtime) as FlexPipe so that the
+measured differences isolate *policy*:
+
+* **AlpaServe** — offline pipeline optimisation over historical request
+  patterns; static provisioning for peak; no runtime adaptation.
+* **MuxServe** — statistical multiplexing: models share GPUs to maximise
+  utilization, paying the Eq. 9 interference penalty under bursty load.
+* **ServerlessLLM** — whole-pipeline reactive scaling with fast multi-tier
+  checkpoint loading, but fixed pipeline granularity.
+* **Tetris** — memory-efficient serverless hosting via tensor sharing;
+  no pipeline specialisation, modest batch capacity, slow reactive scaling.
+* **DistServe** — prefill/decode disaggregation (related-work extension):
+  phase-dominant routing onto independently scaled, phase-optimised pools.
+"""
+
+from repro.baselines.base import StaticPipelineSystem
+from repro.baselines.alpaserve import AlpaServeSystem
+from repro.baselines.muxserve import MuxServeSystem
+from repro.baselines.serverlessllm import ServerlessLLMSystem
+from repro.baselines.tetris import TetrisSystem
+from repro.baselines.distserve import DistServeSystem
+
+__all__ = [
+    "StaticPipelineSystem",
+    "AlpaServeSystem",
+    "MuxServeSystem",
+    "ServerlessLLMSystem",
+    "TetrisSystem",
+    "DistServeSystem",
+]

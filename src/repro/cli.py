@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every reproducible experiment with its paper artefact.
+``run EXPERIMENT``
+    Run one experiment driver and print its paper-vs-measured table
+    (figures also render an ASCII shape preview).
+``demo``
+    A 60-second FlexPipe serving run on a small fragmented cluster —
+    the quickest end-to-end sanity check.
+``report``
+    Regenerate ``EXPERIMENTS.md`` from the bench outputs in
+    ``benchmarks/_results/``.
+
+The heavy experiments (full five-system sweeps) are the same code the
+benches call; expect minutes of wall-clock for those.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.metrics.ascii_plot import bar_chart, sparkline
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable reproduction target."""
+
+    name: str
+    artefact: str
+    runner: Callable[[argparse.Namespace], str]
+    heavy: bool = False
+
+
+def _rows_table(rows: list[dict], title: str) -> str:
+    """Generic dict-rows renderer used by drivers without bespoke tables."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(rows[0])
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, body, title=title)
+
+
+# ----------------------------------------------------------------------
+# Runners (import drivers lazily: each pulls in heavy modules)
+# ----------------------------------------------------------------------
+def _run_table1(args) -> str:
+    from repro.experiments import figures
+
+    stats = figures.table1_rows(seed=args.seed)
+    rows = [{"metric": k, "value": v} for k, v in stats.items()]
+    return _rows_table(rows, "Table 1 - simulated cluster utilization statistics")
+
+
+def _run_table2(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.table2_rows(), "Table 2 - OPT-66B granularity profile"
+    )
+
+
+def _run_fig1(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig1_rows(seed=args.seed),
+        "Fig. 1 - request CV across measurement windows",
+    )
+
+
+def _run_fig3(args) -> str:
+    from repro.experiments import figures
+
+    rows = figures.fig3_rows(seed=args.seed)
+    table = _rows_table(rows, "Fig. 3 - static 4-stage pipeline vs workload CV")
+    chart = bar_chart(
+        [str(r["cv"]) for r in rows],
+        [r["goodput"] for r in rows],
+        title="goodput (req/s) by CV",
+        width=34,
+    )
+    return f"{table}\n\n{chart}"
+
+
+def _run_fig4(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig4_rows(seed=args.seed),
+        "Fig. 4 - latency by pipeline granularity and CV",
+    )
+
+
+def _sweep_figs(args) -> dict:
+    from repro.experiments import figures
+
+    return figures.system_sweep(seed=args.seed)
+
+
+def _run_fig8(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig8_rows(_sweep_figs(args)), "Fig. 8 - E2E latency breakdown"
+    )
+
+
+def _run_fig9(args) -> str:
+    from repro.experiments import figures
+
+    data = figures.fig9_series(seed=args.seed)
+    lines = ["Fig. 9 - response time under CV=8 burst workload (300 s, 15 s windows)"]
+    for system, stats in data.items():
+        values = list(stats["rt_series"].values())
+        lines.append(
+            f"{system:>10}: {sparkline(values, width=60)}  "
+            f"mean={stats['mean_latency']:.2f}s p99={stats['p99']:.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def _run_fig10(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig10_rows(_sweep_figs(args)), "Fig. 10 - latency percentiles"
+    )
+
+
+def _run_fig11(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig11_rows(_sweep_figs(args)), "Fig. 11 - stall recovery times"
+    )
+
+
+def _run_fig12(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig12_rows(_sweep_figs(args)),
+        "Fig. 12 - goodput vs GPU utilization",
+    )
+
+
+def _run_fig13(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.fig13_rows(seed=args.seed), "Fig. 13 - prefill latency by model"
+    )
+
+
+def _run_case_study(args) -> str:
+    from repro.experiments import figures
+
+    stats = figures.case_study_rows(seed=args.seed)
+    rows = [{"metric": k, "value": v} for k, v in stats.items()]
+    return _rows_table(rows, "§9.6 case study - production rollout")
+
+
+def _run_ablations(args) -> str:
+    from repro.experiments import figures
+
+    return _rows_table(
+        figures.ablation_rows(seed=args.seed), "Ablations - FlexPipe mechanisms"
+    )
+
+
+def _run_demo(args) -> str:
+    from repro.experiments.common import ExperimentConfig, run_system
+    from repro.experiments.systems import make_flexpipe
+
+    cfg = ExperimentConfig(
+        cv=2.0,
+        qps=10.0,
+        duration=60.0,
+        settle_time=120.0,
+        warmup_time=20.0,
+        drain_time=20.0,
+        seed=args.seed,
+    )
+    started = time.time()
+    summary, _system = run_system(make_flexpipe, cfg)
+    elapsed = time.time() - started
+    rows = [
+        {"metric": "offered requests", "value": summary.offered},
+        {"metric": "completed", "value": summary.completed},
+        {"metric": "goodput rate", "value": f"{summary.goodput_rate:.1%}"},
+        {"metric": "mean latency (s)", "value": f"{summary.mean_latency:.3f}"},
+        {
+            "metric": "p99 latency (s)",
+            "value": f"{summary.latency_percentiles[99]:.3f}",
+        },
+        {"metric": "GPU utilization", "value": f"{summary.gpu_utilization:.1%}"},
+        {"metric": "wall-clock (s)", "value": f"{elapsed:.1f}"},
+    ]
+    return _rows_table(rows, "FlexPipe demo - 60 s of CV=2 traffic at 10 QPS")
+
+
+def _run_report(args) -> str:
+    from repro.experiments.report import write_experiments_md
+
+    path = write_experiments_md()
+    return f"wrote {path}"
+
+
+def _run_trace(args) -> str:
+    """``repro trace``: synthesise or inspect Azure-style trace bundles."""
+    import numpy as np
+
+    from repro.workloads.azure import (
+        AzureSynthConfig,
+        TraceBundle,
+        fig1_report,
+        synthesize_azure_like,
+    )
+
+    if args.trace_command == "synth":
+        rng = np.random.default_rng(args.seed)
+        bundle = synthesize_azure_like(
+            rng,
+            AzureSynthConfig(
+                n_apps=args.apps, days=args.days, mean_total_rate=args.rate
+            ),
+        )
+        bundle.write_csv(args.output)
+        total = bundle.total_trace()
+        return (
+            f"wrote {args.output}: {len(bundle)} functions / "
+            f"{len(bundle.app_ids())} apps, {total.total_invocations} "
+            f"invocations over {bundle.duration / 3600:.1f} h "
+            f"({total.mean_rate:.1f} req/s mean)"
+        )
+    # stats
+    bundle = TraceBundle.read_csv(args.trace_file)
+    lines = [f"{args.trace_file}: {len(bundle)} functions, "
+             f"{bundle.duration / 3600:.1f} h"]
+    report = fig1_report(bundle)
+    lines.append("multi-window CV (the Fig. 1 measurement):")
+    for name, cvs in report.items():
+        parts = []
+        for window, cv in cvs.items():
+            label = f"{window / 3600:g}h" if window >= 3600 else f"{window:g}s"
+            parts.append(f"{label}={cv:.2f}")
+        lines.append(f"  {name:>6}: " + "  ".join(parts))
+    top = bundle.top_apps(1)[0]
+    lines.append(
+        f"top app: {top.app} ({top.total_invocations} invocations, "
+        f"{top.mean_rate:.2f} req/s)"
+    )
+    lines.append("rate: " + sparkline(top.rate_series().tolist(), width=72))
+    return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.name: e
+    for e in [
+        Experiment("table1", "Table 1 (cluster stats)", _run_table1),
+        Experiment("table2", "Table 2 (granularity profile)", _run_table2),
+        Experiment("fig1", "Fig. 1 (CV vs window)", _run_fig1),
+        Experiment("fig3", "Fig. 3 (static pipeline vs CV)", _run_fig3, heavy=True),
+        Experiment("fig4", "Fig. 4 (granularity vs CV)", _run_fig4, heavy=True),
+        Experiment("fig8", "Fig. 8 (latency breakdown)", _run_fig8, heavy=True),
+        Experiment("fig9", "Fig. 9 (burst absorption)", _run_fig9, heavy=True),
+        Experiment("fig10", "Fig. 10 (percentiles)", _run_fig10, heavy=True),
+        Experiment("fig11", "Fig. 11 (stall recovery)", _run_fig11, heavy=True),
+        Experiment("fig12", "Fig. 12 (resource efficiency)", _run_fig12, heavy=True),
+        Experiment("fig13", "Fig. 13 (prefill latency)", _run_fig13, heavy=True),
+        Experiment("case-study", "§9.6 production case study", _run_case_study, heavy=True),
+        Experiment("ablations", "mechanism ablations", _run_ablations, heavy=True),
+    ]
+}
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        {
+            "experiment": e.name,
+            "paper artefact": e.artefact,
+            "cost": "minutes" if e.heavy else "seconds",
+        }
+        for e in EXPERIMENTS.values()
+    ]
+    print(_rows_table(rows, "Reproducible experiments (python -m repro run <name>)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    experiment = EXPERIMENTS.get(args.experiment)
+    if experiment is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if experiment.heavy:
+        print(f"[{experiment.name}] full simulation sweep - this takes minutes...")
+    print(experiment.runner(args))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlexPipe reproduction: run the paper's experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see `repro list`)")
+    sub.add_parser("demo", help="quick FlexPipe end-to-end run")
+    sub.add_parser("report", help="regenerate EXPERIMENTS.md from bench results")
+    trace = sub.add_parser("trace", help="synthesise / inspect Azure-style traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    synth = trace_sub.add_parser("synth", help="write a synthetic trace CSV")
+    synth.add_argument("output", help="CSV path to write")
+    synth.add_argument("--apps", type=int, default=40)
+    synth.add_argument("--days", type=float, default=2.0)
+    synth.add_argument("--rate", type=float, default=20.0, help="mean req/s")
+    stats = trace_sub.add_parser("stats", help="summarise a trace CSV")
+    stats.add_argument("trace_file", help="CSV path to read")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        print(_run_demo(args))
+        return 0
+    if args.command == "report":
+        print(_run_report(args))
+        return 0
+    if args.command == "trace":
+        print(_run_trace(args))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")

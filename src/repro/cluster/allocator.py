@@ -1,0 +1,154 @@
+"""GPU allocation with the paper's placement constraints.
+
+Hard rules implemented (§6.2):
+
+* stages of the *same model* are never placed on the same GPU (except
+  transiently during an inflight refactoring transition, where the old and
+  new incarnation of a stage co-reside until switchover — callers opt in
+  via ``allow_same_model``);
+* serving reservations never over-commit GPU memory.
+
+Soft preferences (the Eq. 6 objective and the Eq. 13 affinity policy) are
+injected as a scoring callable so refactoring/scaling policies stay in
+their own modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.gpu import GPU
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+@dataclass
+class StageReservation:
+    """One stage's memory reservation on one GPU."""
+
+    res_id: str
+    model: str
+    gpu: GPU
+    nbytes: float
+    released: bool = False
+
+
+class GPUAllocator:
+    """Cluster-wide allocator used by FlexPipe and all baselines."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._counter = itertools.count()
+        self.live: dict[str, StageReservation] = {}
+        self.failed_requests = 0
+        self.granted_requests = 0
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self,
+        mem_needed: float,
+        *,
+        model: str | None = None,
+        exclude: Iterable[GPU] = (),
+    ) -> list[GPU]:
+        """GPUs that could host a stage of ``model`` needing ``mem_needed``."""
+        banned = {g.gid for g in exclude}
+        out = []
+        for gpu in self.cluster.gpus:
+            if gpu.gid in banned:
+                continue
+            if model is not None and gpu.hosts_model(model):
+                continue  # same-model anti-affinity (hard rule)
+            if gpu.free_memory >= mem_needed:
+                out.append(gpu)
+        return out
+
+    def reserve_on(
+        self,
+        model: str,
+        gpu: GPU,
+        nbytes: float,
+        *,
+        allow_same_model: bool = False,
+    ) -> StageReservation:
+        """Reserve ``nbytes`` for one stage on a specific GPU."""
+        if not allow_same_model and gpu.hosts_model(model):
+            raise AllocationError(
+                f"{gpu.gid} already hosts a stage of {model!r} (anti-affinity)"
+            )
+        if nbytes > gpu.free_memory + 1e-6:
+            raise AllocationError(
+                f"{gpu.gid} lacks {nbytes / 2**30:.2f} GiB "
+                f"(free {gpu.free_memory / 2**30:.2f} GiB)"
+            )
+        res_id = f"res-{next(self._counter)}"
+        gpu.reserve(res_id, nbytes, model=model)
+        reservation = StageReservation(res_id, model, gpu, nbytes)
+        self.live[res_id] = reservation
+        return reservation
+
+    def allocate_stages(
+        self,
+        model: str,
+        mem_per_stage: Sequence[float],
+        *,
+        scorer: Callable[[GPU], float] | None = None,
+        exclude: Iterable[GPU] = (),
+    ) -> list[StageReservation]:
+        """Atomically reserve one GPU per stage (all succeed or none).
+
+        ``scorer`` returns higher-is-better preference per GPU; ties and the
+        no-scorer case fall back to most-free-memory-first, which steers
+        placement away from fragmented devices.
+        """
+        chosen: list[GPU] = []
+        banned = {g.gid for g in exclude}
+        for mem in mem_per_stage:
+            pool = [
+                g for g in self.candidates(mem, model=model) if g.gid not in banned
+            ]
+            if not pool:
+                self.failed_requests += 1
+                raise AllocationError(
+                    f"no GPU with {mem / 2**30:.1f} GiB free for model "
+                    f"{model!r} (stage {len(chosen)})"
+                )
+            if scorer is not None:
+                best = max(pool, key=lambda g: (scorer(g), g.free_memory))
+            else:
+                best = max(pool, key=lambda g: g.free_memory)
+            chosen.append(best)
+            banned.add(best.gid)  # one stage per GPU within this replica
+        reservations = [
+            self.reserve_on(model, gpu, mem)
+            for gpu, mem in zip(chosen, mem_per_stage)
+        ]
+        self.granted_requests += 1
+        return reservations
+
+    def release(self, reservation: StageReservation) -> None:
+        """Return a reservation's memory to its GPU."""
+        if reservation.released:
+            raise AllocationError(f"double release of {reservation.res_id}")
+        reservation.gpu.release(reservation.res_id, model=reservation.model)
+        reservation.released = True
+        self.live.pop(reservation.res_id, None)
+
+    def resize(self, reservation: StageReservation, nbytes: float) -> None:
+        """Grow/shrink a live reservation (KV growth, post-refactor trim)."""
+        if reservation.released:
+            raise AllocationError(f"resize of released {reservation.res_id}")
+        reservation.gpu.resize(reservation.res_id, nbytes)
+        reservation.nbytes = nbytes
+
+    # ------------------------------------------------------------------
+    def total_reserved(self) -> float:
+        return sum(r.nbytes for r in self.live.values())
+
+    def gpus_in_use(self) -> int:
+        return len({r.gpu.gid for r in self.live.values()})

@@ -1,0 +1,135 @@
+"""Cluster assembly and reference topologies.
+
+``make_paper_cluster`` reproduces the paper's testbed scale: 42 servers and
+82 GPUs (10 single-GPU, 28 dual-GPU, 4 quad-GPU nodes — the mix that yields
+the paper's observation that 4 co-located GPUs are almost never available).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.gpu import GPU, GPUSpec
+from repro.cluster.server import Server
+from repro.cluster.topology import Rack
+from repro.simulation.engine import Simulator
+from repro.transfer.links import GB, FairShareLink, LinkSpec
+
+
+class Cluster:
+    """The full simulated cluster: racks -> servers -> GPUs + shared storage."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        racks: list[Rack],
+        *,
+        storage_bandwidth: float = 32.0 * GB,
+    ):
+        if not racks:
+            raise ValueError("cluster needs at least one rack")
+        self.sim = sim
+        self.racks = racks
+        # Shared model-checkpoint storage (cluster I/O tier of the HRG).
+        self.storage = FairShareLink(
+            sim, LinkSpec("cluster/storage", storage_bandwidth, 1e-3)
+        )
+        self._servers = {s.sid: s for rack in racks for s in rack.servers}
+        self._gpus = {g.gid: g for rack in racks for g in rack.gpus}
+        self._racks = {rack.rid: rack for rack in racks}
+
+    @property
+    def servers(self) -> list[Server]:
+        return list(self._servers.values())
+
+    @property
+    def gpus(self) -> list[GPU]:
+        return list(self._gpus.values())
+
+    def server(self, sid: str) -> Server:
+        return self._servers[sid]
+
+    def gpu(self, gid: str) -> GPU:
+        return self._gpus[gid]
+
+    def rack_of(self, server: Server) -> Rack:
+        return self._racks[server.rack_id]
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self._gpus)
+
+    # ------------------------------------------------------------------
+    # Fragmentation statistics (§3.1 / Table 1 / Fig. 2)
+    # ------------------------------------------------------------------
+    def subscription_rate(self) -> float:
+        """Mean GPU SM subscription across the cluster (can exceed 1.0)."""
+        gpus = self.gpus
+        return sum(g.background_sm_request for g in gpus) / len(gpus)
+
+    def free_gpu_probability(self, min_free_fraction: float = 0.85) -> float:
+        """Fraction of GPUs with at least ``min_free_fraction`` memory free."""
+        gpus = self.gpus
+        free = sum(1 for g in gpus if g.free_fraction >= min_free_fraction)
+        return free / len(gpus)
+
+    def colocated_probability(self, count: int, min_free_fraction: float = 0.85) -> float:
+        """Fraction of servers offering ``count`` co-located free GPUs."""
+        servers = self.servers
+        hits = sum(
+            1
+            for s in servers
+            if sum(1 for g in s.gpus if g.free_fraction >= min_free_fraction) >= count
+        )
+        return hits / len(servers)
+
+    def mean_serving_utilization(self, elapsed: float) -> float:
+        """Average serving-side SM utilization over ``elapsed`` seconds."""
+        gpus = self.gpus
+        return sum(g.utilization(elapsed) for g in gpus) / len(gpus)
+
+
+def make_paper_cluster(
+    sim: Simulator,
+    *,
+    gpu_spec: GPUSpec | None = None,
+    rdma_fraction: float = 0.5,
+    n_racks: int = 6,
+) -> Cluster:
+    """Build the 42-server / 82-GPU topology of the paper's evaluation."""
+    layout = [1] * 10 + [2] * 28 + [4] * 4  # 42 servers, 82 GPUs
+    return _build(sim, layout, gpu_spec, rdma_fraction, n_racks)
+
+
+def make_small_cluster(
+    sim: Simulator,
+    *,
+    n_servers: int = 8,
+    gpus_per_server: int = 2,
+    gpu_spec: GPUSpec | None = None,
+    rdma_fraction: float = 0.5,
+    n_racks: int = 2,
+) -> Cluster:
+    """A small topology for unit tests and quick examples."""
+    layout = [gpus_per_server] * n_servers
+    return _build(sim, layout, gpu_spec, rdma_fraction, n_racks)
+
+
+def _build(
+    sim: Simulator,
+    layout: list[int],
+    gpu_spec: GPUSpec | None,
+    rdma_fraction: float,
+    n_racks: int,
+) -> Cluster:
+    spec = gpu_spec or GPUSpec()
+    racks = [Rack(sim, f"rack-{r}") for r in range(n_racks)]
+    gpu_index = 0
+    for i, n_gpus in enumerate(layout):
+        gpus = []
+        for _ in range(n_gpus):
+            gpus.append(GPU(f"gpu-{gpu_index}", spec))
+            gpu_index += 1
+        # Deterministic striping of RDMA-capable servers across the fleet.
+        rdma = (i * rdma_fraction) % 1.0 + rdma_fraction >= 1.0 if rdma_fraction > 0 else False
+        server = Server(sim, f"server-{i}", gpus, rdma=rdma)
+        racks[i % n_racks].add_server(server)
+    return Cluster(sim, racks)

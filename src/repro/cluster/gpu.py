@@ -1,0 +1,147 @@
+"""GPU device model.
+
+A GPU tracks three kinds of occupancy:
+
+* **background tenants** — other workloads in the shared serverless cluster
+  (source of fragmentation; they consume memory and subscribe SM share);
+* **stage allocations** — pipeline stages placed by a serving system
+  (parameters + KV-cache reservation);
+* **busy time** — accumulated execution seconds, used for the utilization
+  axes of Fig. 12 and Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transfer.links import GB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static GPU parameters (defaults model an 80 GB A100)."""
+
+    name: str = "A100-80G"
+    memory: float = 80.0 * GB
+    sm_count: int = 108
+
+    def __post_init__(self) -> None:
+        if self.memory <= 0:
+            raise ValueError(f"GPU memory must be positive, got {self.memory}")
+
+
+class GPU:
+    """A single accelerator inside a :class:`~repro.cluster.server.Server`."""
+
+    def __init__(self, gid: str, spec: GPUSpec | None = None):
+        self.gid = gid
+        self.spec = spec or GPUSpec()
+        self.server = None  # set by Server
+        # Background (fragmentation) load.
+        self.background_mem = 0.0
+        self.background_sm_request = 0.0  # subscription, can exceed 1.0
+        self.background_sm_usage = 0.0  # actual usage, <= 1.0
+        # Serving load: allocation-id -> bytes.
+        self._stage_mem: dict[str, float] = {}
+        # Models with a stage resident here (anti-affinity rule, §6.2).
+        self.model_tags: dict[str, int] = {}
+        # Execution accounting.
+        self.busy_seconds = 0.0
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def serving_mem(self) -> float:
+        return sum(self._stage_mem.values())
+
+    @property
+    def used_memory(self) -> float:
+        return self.background_mem + self.serving_mem
+
+    @property
+    def free_memory(self) -> float:
+        return self.spec.memory - self.used_memory
+
+    @property
+    def free_fraction(self) -> float:
+        return max(self.free_memory, 0.0) / self.spec.memory
+
+    def reserve(self, alloc_id: str, nbytes: float, model: str | None = None) -> None:
+        """Reserve ``nbytes`` for a stage allocation.
+
+        Raises ``ValueError`` on over-commit — serving allocations are never
+        oversubscribed (only background tenants may be, per §3.1).
+        """
+        if alloc_id in self._stage_mem:
+            raise ValueError(f"duplicate allocation id {alloc_id!r} on {self.gid}")
+        if nbytes < 0:
+            raise ValueError(f"negative reservation: {nbytes}")
+        if nbytes > self.free_memory + 1e-6:
+            raise ValueError(
+                f"over-commit on {self.gid}: need {nbytes / GB:.2f} GB, "
+                f"free {self.free_memory / GB:.2f} GB"
+            )
+        self._stage_mem[alloc_id] = nbytes
+        if model is not None:
+            self.model_tags[model] = self.model_tags.get(model, 0) + 1
+
+    def release(self, alloc_id: str, model: str | None = None) -> None:
+        """Release a previous reservation (idempotent on unknown ids is NOT
+        allowed — unknown ids raise, catching double-release bugs)."""
+        if alloc_id not in self._stage_mem:
+            raise KeyError(f"unknown allocation id {alloc_id!r} on {self.gid}")
+        del self._stage_mem[alloc_id]
+        if model is not None:
+            count = self.model_tags.get(model, 0) - 1
+            if count <= 0:
+                self.model_tags.pop(model, None)
+            else:
+                self.model_tags[model] = count
+
+    def resize(self, alloc_id: str, nbytes: float) -> None:
+        """Grow/shrink an existing reservation (KV-cache growth)."""
+        if alloc_id not in self._stage_mem:
+            raise KeyError(f"unknown allocation id {alloc_id!r} on {self.gid}")
+        current = self._stage_mem[alloc_id]
+        if nbytes - current > self.free_memory + 1e-6:
+            raise ValueError(f"over-commit resizing {alloc_id!r} on {self.gid}")
+        self._stage_mem[alloc_id] = nbytes
+
+    def hosts_model(self, model: str) -> bool:
+        return model in self.model_tags
+
+    @property
+    def colocated_model_count(self) -> int:
+        """Distinct serving models resident on this GPU (Eq. 9 indicator)."""
+        return len(self.model_tags)
+
+    # ------------------------------------------------------------------
+    # Execution accounting
+    # ------------------------------------------------------------------
+    def occupy(self, now: float, duration: float) -> float:
+        """Serialise an execution of ``duration`` on this GPU.
+
+        Returns the completion time; if the GPU is already busy the work
+        starts when the previous work finishes (stages execute serially).
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        start = max(now, self._busy_until)
+        self._busy_until = start + duration
+        self.busy_seconds += duration
+        return self._busy_until
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` wall-clock spent executing serving work."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_seconds / elapsed, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPU({self.gid}, free={self.free_memory / GB:.1f}GB)"

@@ -1,0 +1,78 @@
+"""Hierarchical Resource Graph (HRG) — topology-aware scaling coordination (§7).
+
+The HRG annotates the server/rack/cluster hierarchy with recent scaling
+events so concurrent scale-ups are routed away from paths that are already
+ingesting parameters.  This converts the "resource contention problem into a
+resource coordination opportunity": loads spread across PCIe/NIC/storage
+paths instead of stacking on one of them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import Server
+
+
+@dataclass(frozen=True)
+class HRGWeights:
+    """Relative contention weight of each hierarchy level.
+
+    Server-level contention (PCIe + GPU memory bandwidth) hurts a concurrent
+    load the most; rack uplinks and cluster storage are wider but shared by
+    more nodes.
+    """
+
+    server: float = 1.0
+    rack: float = 0.45
+    cluster: float = 0.15
+    decay: float = 1.0 / 20.0  # events older than ~20 s stop mattering
+
+
+class HierarchicalResourceGraph:
+    """Tracks scaling events per server/rack/cluster and scores contention."""
+
+    def __init__(self, cluster: Cluster, weights: HRGWeights | None = None):
+        self.cluster = cluster
+        self.weights = weights or HRGWeights()
+        self._server_events: dict[str, deque] = {}
+        self._rack_events: dict[str, deque] = {}
+        self._cluster_events: deque = deque()
+        self.events_registered = 0
+
+    # ------------------------------------------------------------------
+    def register_scaling_event(self, server: Server, now: float) -> None:
+        """Record that a parameter load / KV migration started on ``server``."""
+        self._server_events.setdefault(server.sid, deque()).append(now)
+        self._rack_events.setdefault(server.rack_id, deque()).append(now)
+        self._cluster_events.append(now)
+        self.events_registered += 1
+
+    def contention_score(self, server: Server, now: float) -> float:
+        """Exponentially-decayed count of recent events along the path.
+
+        Higher means more contention; the scaling coordinator prefers
+        low-score servers.
+        """
+        w = self.weights
+        score = w.server * self._decayed(self._server_events.get(server.sid), now)
+        score += w.rack * self._decayed(self._rack_events.get(server.rack_id), now)
+        score += w.cluster * self._decayed(self._cluster_events, now)
+        return score
+
+    def rank_servers(self, servers: list[Server], now: float) -> list[Server]:
+        """Servers ordered from least to most contended."""
+        return sorted(servers, key=lambda s: self.contention_score(s, now))
+
+    # ------------------------------------------------------------------
+    def _decayed(self, events: deque | None, now: float) -> float:
+        if not events:
+            return 0.0
+        # Trim events that no longer contribute meaningfully (>5 time consts).
+        horizon = now - 5.0 / self.weights.decay
+        while events and events[0] < horizon:
+            events.popleft()
+        return sum(math.exp(-self.weights.decay * (now - t)) for t in events)

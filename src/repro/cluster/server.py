@@ -1,0 +1,72 @@
+"""Server (node) model: GPUs + host memory + PCIe + NIC."""
+
+from __future__ import annotations
+
+from repro.cluster.gpu import GPU
+from repro.simulation.engine import Simulator
+from repro.transfer.links import GB, FairShareLink, LinkSpec
+
+
+class Server:
+    """A physical node hosting one or more GPUs.
+
+    The server owns two fair-share links used during scaling:
+
+    * ``pcie`` — host-memory -> GPU parameter loads (warm starts);
+    * ``nic`` — network ingest (cold loads from storage, KV migration).
+
+    Host memory holds the warm parameter cache of §7 ("parameter copies in
+    host memory even after GPU eviction").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sid: str,
+        gpus: list[GPU],
+        *,
+        rack_id: str = "rack-0",
+        host_memory: float = 256.0 * GB,
+        rdma: bool = False,
+        pcie_bandwidth: float = 24.0 * GB,
+        nic_bandwidth: float = 12.5 * GB,  # 100 Gbps
+    ):
+        if not gpus:
+            raise ValueError(f"server {sid} must have at least one GPU")
+        self.sim = sim
+        self.sid = sid
+        self.rack_id = rack_id
+        self.gpus = list(gpus)
+        for gpu in self.gpus:
+            gpu.server = self
+        self.host_memory = host_memory
+        self.host_memory_used = 0.0
+        self.rdma = rdma
+        self.pcie = FairShareLink(sim, LinkSpec(f"{sid}/pcie", pcie_bandwidth, 10e-6))
+        self.nic = FairShareLink(sim, LinkSpec(f"{sid}/nic", nic_bandwidth, 100e-6))
+
+    @property
+    def host_memory_free(self) -> float:
+        return self.host_memory - self.host_memory_used
+
+    def host_reserve(self, nbytes: float) -> bool:
+        """Reserve host memory for the warm cache; False if it cannot fit."""
+        if nbytes < 0:
+            raise ValueError(f"negative reservation: {nbytes}")
+        if nbytes > self.host_memory_free + 1e-6:
+            return False
+        self.host_memory_used += nbytes
+        return True
+
+    def host_release(self, nbytes: float) -> None:
+        self.host_memory_used -= nbytes
+        if self.host_memory_used < -1e-6:
+            raise ValueError(f"host memory under-flow on {self.sid}")
+        self.host_memory_used = max(self.host_memory_used, 0.0)
+
+    def free_gpus(self, min_free_bytes: float = 0.0) -> list[GPU]:
+        """GPUs with at least ``min_free_bytes`` of free memory."""
+        return [g for g in self.gpus if g.free_memory >= min_free_bytes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Server({self.sid}, gpus={len(self.gpus)}, rack={self.rack_id})"

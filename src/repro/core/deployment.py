@@ -1,0 +1,229 @@
+"""Replica deployment: allocation, parameter loading, warm starts, teardown.
+
+Loading happens over the shared fair-share links, so concurrent scale-ups
+genuinely contend (the effect HRG coordination mitigates).  On teardown a
+replica's parameters stay in the host-memory cache of their servers,
+turning later scale-ups on those servers into warm starts (§7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.cluster.allocator import AllocationError, StageReservation
+from repro.core.context import ServingContext
+from repro.metrics.collector import MetricsCollector, ScalingEvent
+from repro.models.profiler import ModelProfile
+from repro.partitioning.plan import PartitionPlan
+from repro.pipeline.batching import BatcherConfig
+from repro.pipeline.replica import PipelineReplica
+from repro.pipeline.router import ModelRouter
+from repro.scaling.coordinator import ScalingCoordinator
+from repro.scaling.warm_cache import HostParamCache
+from repro.workloads.requests import Request
+
+_replica_ids = itertools.count()
+
+
+class ReplicaFactory:
+    """Creates and tears down pipeline replicas for one serving system."""
+
+    def __init__(
+        self,
+        ctx: ServingContext,
+        *,
+        routers: dict[str, ModelRouter],
+        metrics: MetricsCollector,
+        on_request_complete: Callable[[Request], None],
+        warm_cache: HostParamCache | None = None,
+        coordinator: ScalingCoordinator | None = None,
+        interference: Callable | None = None,
+        loading_speedup: float = 1.0,
+        cache_on_release: bool = True,
+        batcher_max_wait: float = 0.3,
+        # Serverless container/runtime initialization paid on every scale-up
+        # in addition to parameter loading; warm starts (§7) skip most of it.
+        startup_overhead: float = 5.0,
+        warm_startup_factor: float = 0.2,
+    ):
+        self.ctx = ctx
+        self.routers = routers
+        self.metrics = metrics
+        self.on_request_complete = on_request_complete
+        self.warm_cache = warm_cache
+        self.coordinator = coordinator
+        self.interference = interference
+        self.loading_speedup = loading_speedup
+        self.cache_on_release = cache_on_release
+        self.batcher_max_wait = batcher_max_wait
+        self.startup_overhead = startup_overhead
+        self.warm_startup_factor = warm_startup_factor
+        self.deployed = 0
+        self.released = 0
+
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        profile: ModelProfile,
+        plan: PartitionPlan,
+        *,
+        batch_cap: int | None = None,
+        scorer: Callable | None = None,
+        wait_time: float = 0.0,
+        event_kind: str = "scale_out",
+    ) -> PipelineReplica:
+        """Allocate, start loading, and return a LOADING replica.
+
+        Raises :class:`AllocationError` when the fragmented cluster cannot
+        host the plan (callers record the wait and retry).
+        """
+        sim = self.ctx.sim
+        model = profile.spec.name
+        batch = max(min(plan.max_batch, batch_cap or plan.max_batch), 1)
+        if scorer is None and self.coordinator is not None:
+            scorer = self.coordinator.scorer(model, sim.now)
+        # Memory-aware degradation: a fragmented cluster may not offer the
+        # full KV reservation for the target batch — halve the batch (and
+        # with it the KV pool) until the plan fits, rather than failing.
+        reservations = None
+        while True:
+            mems = plan.memory_per_stage(batch, profile.spec.kv_bytes_per_request)
+            try:
+                reservations = self.ctx.allocator.allocate_stages(
+                    model, mems, scorer=scorer
+                )
+                break
+            except AllocationError:
+                if batch <= 8:
+                    raise
+                batch //= 2
+        router = self.routers[model]
+        replica = PipelineReplica(
+            sim,
+            profile,
+            plan,
+            reservations,
+            batcher_config=BatcherConfig(
+                max_batch=batch, max_wait=self.batcher_max_wait
+            ),
+            on_request_complete=self.on_request_complete,
+            on_active=router.add,
+            on_released=self._teardown,
+            interference=self.interference,
+            name=f"{model}/r{next(_replica_ids)}",
+        )
+        if self.coordinator is not None:
+            self.coordinator.record_scaling(
+                model, [r.gpu for r in reservations], sim.now
+            )
+        self._start_loads(replica, profile, plan, reservations, wait_time, event_kind)
+        self.deployed += 1
+        return replica
+
+    # ------------------------------------------------------------------
+    def _start_loads(
+        self,
+        replica: PipelineReplica,
+        profile: ModelProfile,
+        plan: PartitionPlan,
+        reservations: list[StageReservation],
+        wait_time: float,
+        event_kind: str,
+    ) -> None:
+        sim = self.ctx.sim
+        state = {"remaining": 0, "warm_bytes": 0.0, "cold_bytes": 0.0}
+
+        def finish(warm: bool) -> None:
+            replica.activate()
+            self.metrics.on_event(
+                ScalingEvent(
+                    time=sim.now,
+                    kind=event_kind,
+                    detail=f"{replica.name} K={plan.n_stages}",
+                    wait_time=wait_time,
+                    init_time=sim.now - replica.created_at,
+                    warm=warm,
+                )
+            )
+
+        def part_done() -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                total = state["warm_bytes"] + state["cold_bytes"]
+                warm = total > 0 and state["warm_bytes"] >= 0.5 * total
+                overhead = self.startup_overhead * (
+                    self.warm_startup_factor if warm else 1.0
+                )
+                sim.schedule(overhead, finish, warm)
+
+        transfers: list[tuple] = []  # (link, nbytes, per-stream max rate)
+        cm = self.ctx.cost_model
+        for stage_plan, reservation in zip(plan.stages, reservations):
+            server = reservation.gpu.server
+            param_bytes = stage_plan.param_bytes
+            warm = 0.0
+            if self.warm_cache is not None:
+                warm = self.warm_cache.coverage(
+                    server, profile, stage_plan.start, stage_plan.end, sim.now
+                )
+            cold = max(param_bytes - warm, 0.0)
+            state["warm_bytes"] += warm
+            state["cold_bytes"] += cold
+            # Per-stream rates reproduce the calibrated load-time curve when
+            # uncontended; the shared links add contention on top.
+            if warm > 0:
+                rate = warm / cm.warm_load_time(warm)
+                transfers.append((server.pcie, warm, rate))
+            if cold > 0:
+                duration = cm.cold_load_time(cold) / self.loading_speedup
+                transfers.append((self.ctx.cluster.storage, cold, cold / duration))
+            if self.warm_cache is not None:
+                # Cache-through (§7): parameters stream via host memory, so
+                # the host-side copy persists for future warm starts.
+                self.warm_cache.put(
+                    server,
+                    profile.spec.name,
+                    stage_plan.start,
+                    stage_plan.end,
+                    param_bytes,
+                    sim.now,
+                )
+        if not transfers:
+            # Everything already resident (e.g. zero-parameter test stages).
+            state["remaining"] = 1
+            sim.schedule(0.0, part_done)
+            return
+        state["remaining"] = len(transfers)
+        for link, nbytes, rate in transfers:
+            link.transfer(nbytes, part_done, max_rate=rate)
+
+    # ------------------------------------------------------------------
+    def _teardown(self, replica: PipelineReplica) -> None:
+        """Release GPU reservations; keep parameters warm in host memory."""
+        sim = self.ctx.sim
+        model = replica.profile.spec.name
+        self.routers[model].remove(replica)
+        for stage in replica.stages:
+            reservation = stage.reservation
+            if reservation.released:
+                continue
+            if self.cache_on_release and self.warm_cache is not None:
+                self.warm_cache.put(
+                    reservation.gpu.server,
+                    model,
+                    stage.plan.start,
+                    stage.plan.end,
+                    stage.plan.param_bytes,
+                    sim.now,
+                )
+            self.ctx.allocator.release(reservation)
+        self.released += 1
+        self.metrics.on_event(
+            ScalingEvent(time=sim.now, kind="scale_in", detail=replica.name)
+        )
+
+    def release(self, replica: PipelineReplica) -> None:
+        """Gracefully drain a replica (release happens when it empties)."""
+        self.routers[replica.profile.spec.name].remove(replica)
+        replica.drain()

@@ -1,0 +1,102 @@
+"""Base class shared by FlexPipe and every baseline system.
+
+Owns the per-model routers, workload monitors, metric collection and the
+queue/GPU-holding samplers, so that system implementations only differ in
+*policy*: how they partition, place, scale and adapt.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.context import ServingContext
+from repro.metrics.collector import MetricsCollector, RunSummary
+from repro.models.zoo import ModelSpec
+from repro.pipeline.router import ModelRouter
+from repro.refactoring.monitor import WorkloadMonitor
+from repro.simulation.processes import PeriodicProcess
+from repro.workloads.requests import Request
+
+
+class ServingSystem(abc.ABC):
+    """A serving system instance bound to one simulated cluster."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        ctx: ServingContext,
+        model_specs: list[ModelSpec],
+        *,
+        queue_sample_interval: float = 0.25,
+        cv_window: float = 30.0,
+    ):
+        if not model_specs:
+            raise ValueError("serving system needs at least one model")
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.specs = {spec.name: spec for spec in model_specs}
+        self.profiles = {spec.name: ctx.profile(spec) for spec in model_specs}
+        self.routers = {
+            spec.name: ModelRouter(ctx.sim, spec.name) for spec in model_specs
+        }
+        self.monitors = {
+            spec.name: WorkloadMonitor(window=cv_window) for spec in model_specs
+        }
+        self.metrics = MetricsCollector(self.name)
+        self._gpu_holding_integral = 0.0
+        self._last_sample = ctx.sim.now
+        self._sampler = PeriodicProcess(
+            ctx.sim, queue_sample_interval, self._sample, start_delay=0.0
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Request ingress (the API-manager path of Fig. 5)."""
+        if request.model not in self.routers:
+            raise KeyError(f"{self.name} does not serve model {request.model!r}")
+        self.metrics.on_submit(request)
+        self.monitors[request.model].observe(self.sim.now)
+        self.routers[request.model].submit(request)
+
+    def _on_request_complete(self, request: Request) -> None:
+        self.metrics.on_complete(request)
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        now = self.sim.now
+        waiting = sum(r.waiting_count for r in self.routers.values())
+        self.metrics.sample_queue(now, waiting)
+        dt = now - self._last_sample
+        if dt > 0:
+            self._gpu_holding_integral += self.ctx.allocator.gpus_in_use() * dt
+        self._last_sample = now
+
+    # ------------------------------------------------------------------
+    def reset_measurement_epoch(self) -> None:
+        """Zero utilization counters at the start of the measured window."""
+        for gpu in self.ctx.cluster.gpus:
+            gpu.busy_seconds = 0.0
+        self._gpu_holding_integral = 0.0
+        self._last_sample = self.sim.now
+        self._epoch_start = self.sim.now
+
+    def summarize(self, duration: float) -> RunSummary:
+        busy = sum(g.busy_seconds for g in self.ctx.cluster.gpus)
+        avg_gpus = self._gpu_holding_integral / duration if duration > 0 else 0.0
+        return self.metrics.summarize(
+            duration,
+            gpu_busy_seconds=busy,
+            gpus_used=max(round(avg_gpus), 1),
+            total_gpus=self.ctx.cluster.gpu_count,
+            measure_from=getattr(self, "_epoch_start", 0.0),
+        )
+
+    def shutdown(self) -> None:
+        """Stop periodic processes (subclasses extend)."""
+        self._sampler.stop()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Deploy initial replicas; called once before the workload starts."""

@@ -1,0 +1,167 @@
+"""Shared experiment harness.
+
+Every run builds a fresh simulator + fragmented cluster from the same
+seed, deploys one serving system, lets it settle (initial loads), replays
+the seeded workload, then allows a drain window before summarising.  Seeded
+random streams are per-subsystem, so two systems compared under the same
+config observe byte-identical arrival processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.cluster.cluster import Cluster, make_paper_cluster, make_small_cluster
+from repro.cluster.fragmentation import FragmentationConfig, FragmentationModel
+from repro.core.context import ServingContext
+from repro.core.serving import ServingSystem
+from repro.metrics.collector import RunSummary
+from repro.models.zoo import ModelSpec, get_model
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.arrivals import ArrivalProcess, MMPPArrivals, make_arrivals
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.requests import LengthDistribution, RequestSampler
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One workload scenario (model + arrival process + horizon)."""
+
+    model: str = "OPT-66B"
+    qps: float = 20.0  # the paper's baseline QPS (§9.1)
+    cv: float = 1.0
+    duration: float = 240.0
+    seed: int = 0
+    slo_latency: float = 10.0
+    settle_time: float = 150.0  # initial loads complete before traffic starts
+    warmup_time: float = 60.0  # traffic before the measured epoch begins
+    drain_time: float = 40.0
+    prompt_median: int = 128
+    output_median: int = 8
+    batch_cap: int = 32  # uniform serving batch limit across systems
+    cluster: str = "paper"  # "paper" | "small"
+    fragmentation: bool = True
+    # Sustained MMPP bursts (the "varying peak loads" of §9.1) rather than
+    # renewal-process micro-clumping; applies for cv > 1.
+    use_mmpp: bool = True
+    burst_cycle: float = 60.0
+    # Optional second tenant: gives GPU-sharing systems (MuxServe, Tetris)
+    # something to multiplex with, as in the paper's multi-model cluster.
+    background_model: str | None = None
+    background_qps: float = 6.0
+    max_events: int = 30_000_000
+
+    @property
+    def spec(self) -> ModelSpec:
+        return get_model(self.model)
+
+    @property
+    def specs(self) -> list[ModelSpec]:
+        out = [get_model(self.model)]
+        if self.background_model is not None:
+            out.append(get_model(self.background_model))
+        return out
+
+
+def build_environment(
+    cfg: ExperimentConfig,
+) -> tuple[Simulator, Cluster, RandomStreams, FragmentationModel | None]:
+    sim = Simulator()
+    streams = RandomStreams(cfg.seed)
+    if cfg.cluster == "paper":
+        cluster = make_paper_cluster(sim)
+    elif cfg.cluster == "small":
+        cluster = make_small_cluster(sim)
+    else:
+        raise ValueError(f"unknown cluster kind {cfg.cluster!r}")
+    fragmentation = None
+    if cfg.fragmentation:
+        fragmentation = FragmentationModel(sim, cluster, streams)
+        fragmentation.warm_up()
+    return sim, cluster, streams, fragmentation
+
+
+def make_workload_sampler(
+    cfg: ExperimentConfig, streams: RandomStreams, model: str | None = None, tag: str = ""
+) -> RequestSampler:
+    return RequestSampler(
+        model or cfg.model,
+        streams.stream(f"requests{tag}"),
+        prompt=LengthDistribution(median=cfg.prompt_median, sigma=0.6, lo=16, hi=4096),
+        output=LengthDistribution(median=cfg.output_median, sigma=0.7, lo=1, hi=256),
+        slo_latency=cfg.slo_latency,
+    )
+
+
+def make_arrival_process(cfg: ExperimentConfig, streams: RandomStreams) -> ArrivalProcess:
+    rng = streams.stream("arrivals")
+    if cfg.use_mmpp and cfg.cv > 1.0:
+        return MMPPArrivals.with_cv(cfg.qps, cfg.cv, rng, mean_cycle=cfg.burst_cycle)
+    return make_arrivals(cfg.qps, cfg.cv, rng)
+
+
+def run_system(
+    system_factory: Callable[[ServingContext, ExperimentConfig], ServingSystem],
+    cfg: ExperimentConfig,
+) -> tuple[RunSummary, ServingSystem]:
+    """Run one system under one workload; returns (summary, system).
+
+    The system object is returned for experiment-specific introspection
+    (refactor counts, warm-start rates, per-request records).
+    """
+    sim, cluster, streams, fragmentation = build_environment(cfg)
+    ctx = ServingContext.create(sim, cluster, streams)
+    system = system_factory(ctx, cfg)
+    system.start()
+    sim.run(until=cfg.settle_time, max_events=cfg.max_events)
+    # The measured epoch begins after a traffic warm-up, so steady-state
+    # numbers are not polluted by initial scale-to-fit transients.
+    sim.schedule(cfg.warmup_time, system.reset_measurement_epoch)
+    generator = WorkloadGenerator(
+        sim,
+        make_arrival_process(cfg, streams),
+        make_workload_sampler(cfg, streams),
+        system.submit,
+        cfg.duration,
+    )
+    if cfg.background_model is not None:
+        WorkloadGenerator(
+            sim,
+            make_arrivals(cfg.background_qps, cfg.cv, streams.stream("arrivals_bg")),
+            make_workload_sampler(cfg, streams, model=cfg.background_model, tag="_bg"),
+            system.submit,
+            cfg.duration,
+        )
+    horizon = cfg.settle_time + cfg.duration + cfg.drain_time
+    sim.run(until=horizon, max_events=cfg.max_events)
+    system.shutdown()
+    if fragmentation is not None:
+        fragmentation.stop()
+    measured = max(cfg.duration - cfg.warmup_time, 1.0) + cfg.drain_time
+    summary = system.summarize(measured)
+    return summary, system
+
+
+def run_comparison(
+    factories: dict[str, Callable[[ServingContext, ExperimentConfig], ServingSystem]],
+    cfg: ExperimentConfig,
+) -> dict[str, RunSummary]:
+    """Run every system against an identical seeded workload."""
+    out: dict[str, RunSummary] = {}
+    for name, factory in factories.items():
+        summary, _ = run_system(factory, cfg)
+        out[name] = summary
+    return out
+
+
+def sweep_cv(
+    factories: dict[str, Callable],
+    cfg: ExperimentConfig,
+    cvs: tuple[float, ...],
+) -> dict[float, dict[str, RunSummary]]:
+    """The common CV-sweep pattern of Figs. 3, 4, 8, 10, 11, 12."""
+    return {
+        cv: run_comparison(factories, replace(cfg, cv=cv)) for cv in cvs
+    }

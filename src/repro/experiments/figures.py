@@ -1,0 +1,405 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver runs the relevant simulation(s) and returns printable rows;
+the benchmarks under ``benchmarks/`` wrap these with pytest-benchmark and
+paper-vs-measured reporting.  EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.fragmentation import FragmentationModel
+from repro.core.context import ServingContext
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_environment,
+    run_system,
+)
+from repro.experiments.systems import (
+    SERVERLESS_FRACTION,
+    STATIC_FRACTION,
+    SYSTEM_FACTORIES,
+    make_alpaserve,
+    make_flexpipe,
+    make_serverlessllm,
+)
+from repro.metrics.latency import percentiles
+from repro.models.costs import CostModel
+from repro.models.zoo import MODEL_ZOO, OPT_66B, get_model
+from repro.partitioning.batch_scaling import activation_bytes
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.cv import count_cv
+from repro.workloads.traces import DiurnalTrace, DiurnalTraceConfig
+
+# Shorter horizons for the multi-run sweeps so the full benchmark suite
+# stays tractable; single-run experiments use longer horizons.
+SWEEP = dict(duration=180.0, settle_time=150.0, warmup_time=40.0, drain_time=30.0)
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Fig. 2 — cluster fragmentation statistics
+# ----------------------------------------------------------------------
+def table1_rows(seed: int = 0) -> dict:
+    """Simulated cluster utilization statistics vs the paper's Table 1."""
+    sim = Simulator()
+    cfg = ExperimentConfig(seed=seed)
+    sim2, cluster, streams, frag = build_environment(cfg)
+    # Let the churn run a while and sample repeatedly, like a fleet scrape.
+    sm, mem = [], []
+    for _ in range(20):
+        sim2.run(until=sim2.now + 30.0)
+        sm.extend(frag.sm_utilization_samples())
+        mem.extend(frag.memory_utilization_samples())
+    frag.stop()
+    sm_arr, mem_arr = np.asarray(sm), np.asarray(mem)
+    return {
+        "sm_mean": float(sm_arr.mean()),
+        "sm_p50": float(np.percentile(sm_arr, 50)),
+        "sm_p95": float(np.percentile(sm_arr, 95)),
+        "sm_10_30": float(((sm_arr >= 10) & (sm_arr <= 30)).mean() * 100),
+        "mem_mean": float(mem_arr.mean()),
+        "mem_p50": float(np.percentile(mem_arr, 50)),
+        "mem_p95": float(np.percentile(mem_arr, 95)),
+        "subscription": cluster.subscription_rate() * 100,
+        "p_free_gpu": cluster.free_gpu_probability() * 100,
+        "p_colocated4": cluster.colocated_probability(4) * 100,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 2 — pipeline granularity profile (calibration check)
+# ----------------------------------------------------------------------
+TABLE2_PAPER = {
+    4: (47.14, 69.94, 6.3, 128),
+    8: (13.05, 36.63, 14.7, 256),
+    16: (9.19, 18.67, 31.5, 512),
+    32: (5.43, 9.67, 65.1, 1024),
+}
+
+
+def table2_rows() -> list[dict]:
+    """Load/compute/comm/max-batch per granularity for OPT-66B."""
+    cm = CostModel()
+    sim = Simulator()
+    streams = RandomStreams(0)
+    from repro.cluster.cluster import make_small_cluster
+
+    ctx = ServingContext.create(sim, make_small_cluster(sim), streams)
+    ladder = ctx.ladder(OPT_66B, (4, 8, 16, 32))
+    profile = ctx.profile(OPT_66B)
+    rows = []
+    for k in (4, 8, 16, 32):
+        plan = ladder.plan(k)
+        biggest = max(s.param_bytes for s in plan.stages)
+        compute = max(
+            profile.stage_compute_time(s.profile, 1) for s in plan.stages
+        )
+        act = activation_bytes(
+            128 * plan.stages[0].profile.boundary_act_bytes_per_token, 128
+        )
+        paper = TABLE2_PAPER[k]
+        rows.append(
+            {
+                "stages": k,
+                "load_s": cm.cold_load_time(biggest),
+                "compute_ms": compute * 1e3,
+                "comm_ms": (k - 1) * cm.hop_time(act) * 1e3,
+                "max_batch": plan.max_batch,
+                "paper_load": paper[0],
+                "paper_compute": paper[1],
+                "paper_comm": paper[2],
+                "paper_batch": paper[3],
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — CV depends on the measurement window
+# ----------------------------------------------------------------------
+def fig1_rows(seed: int = 0, duration_hours: float = 24.0) -> list[dict]:
+    rng = RandomStreams(seed).stream("trace")
+    trace = DiurnalTrace(rng, DiurnalTraceConfig())
+    ts = trace.generate(duration_hours * 3600.0)
+    rows = []
+    for window, label in ((180.0, "180s"), (3 * 3600.0, "3h"), (12 * 3600.0, "12h")):
+        rows.append({"window": label, "cv": count_cv(ts, window)})
+    values = [r["cv"] for r in rows]
+    spread = max(values) / max(min(values), 1e-9)
+    rows.append({"window": "max/min spread", "cv": spread})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — static pipeline vs request-distribution CV
+# ----------------------------------------------------------------------
+def fig3_rows(cvs=(0.1, 1.0, 2.0, 4.0, 8.0), seed: int = 0) -> list[dict]:
+    """A static 4-stage OPT-66B deployment under growing burstiness."""
+    rows = []
+    for cv in cvs:
+        cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
+        # historical_cv=1.0 is the Eq. 4 setpoint of a 4-stage pipeline
+        # ((eta/4)^2), i.e. the paper's static 4-stage configuration.
+        summary, _ = run_system(
+            lambda ctx, c: make_alpaserve(ctx, c, n_stages=4, historical_cv=1.0),
+            cfg,
+        )
+        rows.append(
+            {
+                "cv": cv,
+                "goodput_rps": summary.goodput / summary.duration,
+                "queue_len": summary.mean_queue_length,
+                # Burst congestion shows in the queue's upper tail: MMPP
+                # workloads alternate quiet and burst phases, so the time
+                # average dilutes what the paper's loaded-period queue shows.
+                "queue_p95": summary.p95_queue_length,
+                "stall_cycle_s": summary.stall_cycle,
+                "mean_latency": summary.mean_latency,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — latency of 4/8/16-stage pipelines across CVs
+# ----------------------------------------------------------------------
+def fig4_rows(cvs=(0.1, 1.0, 2.0, 4.0), stage_counts=(4, 8, 16), seed: int = 0):
+    rows = []
+    for cv in cvs:
+        for k in stage_counts:
+            cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
+            summary, _ = run_system(
+                lambda ctx, c, k=k: make_alpaserve(ctx, c, n_stages=k, historical_cv=(k / 4.0) ** 2),
+                cfg,
+            )
+            rows.append(
+                {
+                    "cv": cv,
+                    "stages": k,
+                    "mean_latency": summary.mean_latency,
+                    "p95": summary.latency_percentiles[95],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 / 10 / 11 / 12 — the five-system CV sweep
+# ----------------------------------------------------------------------
+def system_sweep(
+    cvs=(1.0, 2.0, 4.0),
+    systems: tuple[str, ...] | None = None,
+    seed: int = 0,
+    background_model: str | None = "BERT-21B",
+) -> dict[float, dict[str, object]]:
+    """Run the comparison systems across CVs; reused by Figs. 8, 10-12."""
+    chosen = systems or tuple(SYSTEM_FACTORIES)
+    out: dict[float, dict[str, object]] = {}
+    for cv in cvs:
+        cfg = ExperimentConfig(
+            cv=cv, seed=seed, background_model=background_model, **SWEEP
+        )
+        out[cv] = {}
+        for name in chosen:
+            summary, _ = run_system(SYSTEM_FACTORIES[name], cfg)
+            out[cv][name] = summary
+    return out
+
+
+def fig8_rows(sweep) -> list[dict]:
+    rows = []
+    for cv, results in sweep.items():
+        for name, s in results.items():
+            rows.append(
+                {
+                    "cv": cv,
+                    "system": name,
+                    "response_s": s.mean_latency,
+                    "queue_s": s.breakdown.queue,
+                    "exec_s": s.breakdown.execution,
+                    "comm_s": s.breakdown.communication,
+                    "goodput_pct": s.goodput_rate * 100,
+                }
+            )
+    return rows
+
+
+def fig10_rows(sweep) -> list[dict]:
+    rows = []
+    for cv, results in sweep.items():
+        for name in ("FlexPipe", "ServerlessLLM", "Tetris"):
+            if name not in results:
+                continue
+            ps = results[name].latency_percentiles
+            rows.append(
+                {"cv": cv, "system": name, **{f"p{q}": ps[q] for q in (50, 75, 90, 95, 99)}}
+            )
+    return rows
+
+
+def fig11_rows(sweep) -> list[dict]:
+    return [
+        {
+            "cv": cv,
+            "system": name,
+            "median_recovery_ms": s.median_recovery * 1e3,
+        }
+        for cv, results in sweep.items()
+        for name, s in results.items()
+    ]
+
+
+def fig12_rows(sweep) -> list[dict]:
+    return [
+        {
+            "cv": cv,
+            "system": name,
+            "gpu_util_pct": s.gpu_utilization * 100,
+            "goodput_rps": s.goodput / s.duration,
+            "efficiency": (s.goodput / s.duration) / max(s.gpu_utilization * 100, 1e-9),
+        }
+        for cv, results in sweep.items()
+        for name, s in results.items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — burst absorption timeline at CV=8
+# ----------------------------------------------------------------------
+def fig9_series(seed: int = 0, window: float = 15.0) -> dict:
+    # The paper plots a 300 s slice of a long-running (warm) deployment, so
+    # traffic runs 150 s before the plotted window opens; the second tenant
+    # gives MuxServe something to multiplex with, as in the paper's cluster.
+    cfg = ExperimentConfig(
+        cv=8.0, seed=seed, duration=450.0, settle_time=150.0,
+        warmup_time=150.0, drain_time=30.0, background_model="BERT-21B",
+    )
+    out = {}
+    for name in ("FlexPipe", "AlpaServe", "MuxServe"):
+        summary, system = run_system(SYSTEM_FACTORIES[name], cfg)
+        start = cfg.settle_time + cfg.warmup_time
+        records = sorted(
+            (
+                r
+                for r in system.metrics.records
+                if r.completed and r.completion_time >= start
+            ),
+            key=lambda r: r.completion_time,
+        )
+        buckets: dict[int, list[float]] = {}
+        arrivals: dict[int, int] = {}
+        for r in records:
+            b = int((r.completion_time - start) // window)
+            buckets.setdefault(b, []).append(r.latency)
+            ab = int((r.arrival_time - start) // window)
+            if ab >= 0:
+                arrivals[ab] = arrivals.get(ab, 0) + 1
+        out[name] = {
+            "rt_series": {b: float(np.mean(v)) for b, v in sorted(buckets.items())},
+            "arrival_counts": dict(sorted(arrivals.items())),
+            "mean_latency": summary.mean_latency,
+            "p99": summary.latency_percentiles[99],
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — prefill latency across model scales
+# ----------------------------------------------------------------------
+def fig13_rows(seed: int = 0) -> list[dict]:
+    rows = []
+    for model_name in ("WHISPER-9B", "LLAMA2-7B", "BERT-21B", "OPT-66B"):
+        cfg = ExperimentConfig(
+            model=model_name, cv=2.0, seed=seed, qps=12.0, **SWEEP
+        )
+        for name, factory in (
+            ("FlexPipe", make_flexpipe),
+            ("AlpaServe", make_alpaserve),
+            ("ServerlessLLM", make_serverlessllm),
+        ):
+            summary, _ = run_system(factory, cfg)
+            rows.append(
+                {
+                    "model": model_name,
+                    "system": name,
+                    "prefill_s": summary.mean_prefill_latency,
+                    "p95_latency": summary.latency_percentiles[95],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# §9.6 — production case study: reservation, wait time, init latency
+# ----------------------------------------------------------------------
+def case_study_rows(seed: int = 0) -> dict:
+    """§9.6: always-on reservation, service parity, wait and init latency.
+
+    "Reservation" is the provisioning policy's always-on share of peak
+    capacity (the paper's 75% -> 30%); what the experiment must *measure*
+    is that the reduced reservation does not compromise service quality,
+    and that elastic fine-grained scale-outs initialise much faster than a
+    cold whole-pipeline deployment.
+    """
+    cfg = ExperimentConfig(cv=4.0, seed=seed, **SWEEP)
+    flex, flex_system = run_system(make_flexpipe, cfg)
+    static, static_system = run_system(make_alpaserve, cfg)
+    # Cold whole-pipeline deployment time, measured from the static
+    # system's own initial loads (the baseline every elastic scale-out of
+    # FlexPipe is compared against).
+    initial_inits = [
+        e.init_time
+        for e in static_system.metrics.events
+        if e.kind == "initial" and e.init_time > 0
+    ]
+    cold_init = float(np.mean(initial_inits)) if initial_inits else 0.0
+    init_reduction = 1.0 - flex.mean_init_time / cold_init if cold_init else 0.0
+    return {
+        "flex_reserved_frac": SERVERLESS_FRACTION,
+        "static_reserved_frac": STATIC_FRACTION,
+        "flex_gpus": flex.gpus_used,
+        "static_gpus": static.gpus_used,
+        "flex_alloc_wait": flex.mean_alloc_wait,
+        "static_alloc_wait": static.mean_alloc_wait,
+        "flex_init": flex.mean_init_time,
+        "cold_init": cold_init,
+        "init_reduction": init_reduction,
+        "flex_warm_rate": flex.warm_start_rate,
+        "flex_goodput": flex.goodput_rate,
+        "static_goodput": static.goodput_rate,
+    }
+
+
+# ----------------------------------------------------------------------
+# Ablations — each FlexPipe mechanism removed in turn
+# ----------------------------------------------------------------------
+def ablation_rows(seed: int = 0, cv: float = 4.0) -> list[dict]:
+    variants = {
+        "full": {},
+        "no-refactoring": {"enable_refactoring": False},
+        "no-warm-cache": {"enable_warm_cache": False},
+        "no-hrg": {"enable_hrg": False},
+        "no-affinity": {"enable_affinity": False},
+    }
+    cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
+    rows = []
+    for name, overrides in variants.items():
+        summary, _ = run_system(
+            lambda ctx, c, o=overrides: make_flexpipe(ctx, c, **o), cfg
+        )
+        rows.append(
+            {
+                "variant": name,
+                "goodput_pct": summary.goodput_rate * 100,
+                "mean_latency": summary.mean_latency,
+                "p99": summary.latency_percentiles[99],
+                "refactors": summary.refactor_count,
+                "warm_rate": summary.warm_start_rate,
+                "mean_init": summary.mean_init_time,
+            }
+        )
+    return rows

@@ -1,0 +1,305 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artefact.
+
+Each bench in ``benchmarks/`` writes its result table to
+``benchmarks/_results/<name>.txt``; this module stitches those outputs —
+together with the per-experiment paper claims — into ``EXPERIMENTS.md``.
+Run it via ``python -m repro report`` (or the ``write_experiments_md``
+API) after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_RESULTS_DIR = _REPO_ROOT / "benchmarks" / "_results"
+DEFAULT_OUTPUT = _REPO_ROOT / "EXPERIMENTS.md"
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One paper artefact: what the paper claims, where our numbers land."""
+
+    result_stem: str  # benchmarks/_results/<stem>.txt
+    artefact: str
+    bench: str
+    paper_claim: str
+    shape_target: str
+
+
+ENTRIES: list[ExperimentEntry] = [
+    ExperimentEntry(
+        "table1",
+        "Table 1 — GPU cluster utilization statistics",
+        "benchmarks/bench_table1.py",
+        "Mean SM utilization 16.91% (C1) / 23.74% (C2); P50 ≪ P95; "
+        "31%/21% of GPUs sit in the 10-30% utilization band.",
+        "Fragmentation churn reproduces low-mean / high-P95 utilization with "
+        "a heavy low-utilization mass.",
+    ),
+    ExperimentEntry(
+        "table2",
+        "Table 2 — pipeline granularity profile (OPT-66B)",
+        "benchmarks/bench_table2.py",
+        "4→32 stages: load 47.14 s → 5.43 s (8.7×), compute 69.94 ms → "
+        "9.67 ms, comm 6.3 ms → 65.1 ms, max batch 128 → 1024 (8×).",
+        "Max batch matches exactly; load/compute within 25%, comm within "
+        "15%; endpoint ratios hold.",
+    ),
+    ExperimentEntry(
+        "fig1",
+        "Fig. 1 — request CV across measurement windows",
+        "benchmarks/bench_fig1.py",
+        "CV measured over 180 s / 3 h / 12 h windows differs by up to 7× "
+        "on the Alibaba and Azure traces.",
+        "Synthetic diurnal+burst trace shows ≥7× CV spread across windows.",
+    ),
+    ExperimentEntry(
+        "fig2",
+        "Fig. 2 — subscription rate and GPU availability",
+        "benchmarks/bench_fig2.py",
+        "216% average GPU subscription; P(single GPU ≥85% free) ≈ 8.7%; "
+        "P(4 co-located free GPUs) ≈ 0.02%.",
+        "Churn fitted to the same statistics; co-location probability "
+        "collapses with group size.",
+    ),
+    ExperimentEntry(
+        "fig3",
+        "Fig. 3 — static pipeline vs workload variability",
+        "benchmarks/bench_fig3.py",
+        "CV 0.1→8 on a static 4-stage pipeline: goodput −37%, queue ×4, "
+        "stall cycle ×22.",
+        "Goodput declines, queue grows ~4×, stall-cycle ratio explodes at "
+        "high CV.",
+    ),
+    ExperimentEntry(
+        "fig4",
+        "Fig. 4 — latency by granularity and CV",
+        "benchmarks/bench_fig4.py",
+        "16-stage is ~2.7× slower than 4-stage at low CV but ~3× faster at "
+        "CV=4 (deep pipelines absorb bursts).",
+        "Crossover between coarse and fine granularity as CV rises.",
+    ),
+    ExperimentEntry(
+        "fig8",
+        "Fig. 8 — end-to-end latency breakdown",
+        "benchmarks/bench_fig8.py",
+        "FlexPipe 38.3% lower latency at CV=1 and 66.1% lower than "
+        "AlpaServe at CV=4, trading queue time for communication while "
+        "holding ~100% goodput.",
+        "FlexPipe lowest total latency at every CV; queue share shrinks, "
+        "comm share grows; goodput stays ~max.",
+    ),
+    ExperimentEntry(
+        "fig9",
+        "Fig. 9 — burst absorption at CV=8",
+        "benchmarks/bench_fig9.py",
+        "FlexPipe holds low flat response times through bursts; MuxServe "
+        "sustains >10 s latencies; AlpaServe spikes periodically.",
+        "Windowed RT series: FlexPipe flattest, MuxServe worst sustained, "
+        "AlpaServe spiky.",
+    ),
+    ExperimentEntry(
+        "fig10",
+        "Fig. 10 — latency percentile stability",
+        "benchmarks/bench_fig10.py",
+        "FlexPipe P99 stays controlled as CV grows; ServerlessLLM/Tetris "
+        "P99 degrade 2-3×.",
+        "FlexPipe P99 smallest and flattest across CV ∈ {1, 2, 4}.",
+    ),
+    ExperimentEntry(
+        "fig11",
+        "Fig. 11 — pipeline stall recovery",
+        "benchmarks/bench_fig11.py",
+        "Median recovery: FlexPipe 88 ms ≈ AlpaServe 83 ms at CV=1; 9 ms "
+        "at CV=4 (44% faster than AlpaServe, 82% faster than MuxServe/"
+        "ServerlessLLM).",
+        "FlexPipe comparable at CV=1 and clearly fastest at CV=4.",
+    ),
+    ExperimentEntry(
+        "fig12",
+        "Fig. 12 — resource efficiency",
+        "benchmarks/bench_fig12.py",
+        "FlexPipe reaches max goodput at 33-43% utilization; Tetris burns "
+        "85% utilization for ~8.5× less goodput at CV=4.",
+        "FlexPipe goodput/utilization dominates; ≥5× efficiency gap vs "
+        "Tetris at CV=4.",
+    ),
+    ExperimentEntry(
+        "fig13",
+        "Fig. 13 — prefill latency across model scales",
+        "benchmarks/bench_fig13.py",
+        "FlexPipe 6.43% (WHISPER) to 24.38% (OPT-66B) lower prefill "
+        "latency; the gap grows with model size; 17.32% average.",
+        "FlexPipe lower prefill latency on all four models, largest gain "
+        "on OPT-66B.",
+    ),
+    ExperimentEntry(
+        "case_study",
+        "§9.6 — production cluster case study",
+        "benchmarks/bench_case_study.py",
+        "Always-on reservation 75% → 30% of peak; allocation wait −85%; "
+        "instance initialization −72%.",
+        "Reservation ratio ~0.3-0.4, wait and init reductions of the same "
+        "order.",
+    ),
+    ExperimentEntry(
+        "ablations",
+        "Ablations — FlexPipe mechanism contributions",
+        "benchmarks/bench_ablations.py",
+        "(No paper table; DESIGN.md calls these out.)  Refactoring, warm "
+        "cache, HRG coordination and affinity each carry measurable weight.",
+        "Disabling each mechanism regresses its metric (latency, init time, "
+        "warm-start rate).",
+    ),
+    ExperimentEntry(
+        "queueing",
+        "Eq. 1 / Insight 3 — queueing model validation",
+        "benchmarks/bench_queueing.py",
+        "Deeper pipelines win above CV≈3; optimal depth scales like "
+        "S ∝ √CV.",
+        "G/G/S model tracks simulated latency ordering; optimum depth "
+        "grows with CV.",
+    ),
+    ExperimentEntry(
+        "migration",
+        "§8 ablation — hierarchical transfer vs NCCL",
+        "benchmarks/bench_migration.py",
+        "NCCL connection establishment costs seconds, so FlexPipe uses "
+        "RDMA with a sendfile fallback for KV migration.",
+        "Forced-NCCL makespan ≥5× the hierarchy; KV shards complete in "
+        "milliseconds under the hierarchy; sendfile degrades gracefully.",
+    ),
+    ExperimentEntry(
+        "sensitivity_alpha",
+        "Sensitivity — Eq. 4 α (throughput-latency weight)",
+        "benchmarks/bench_sensitivity.py",
+        "(Design-choice sweep; no paper table.)",
+        "Granularity selection is monotone-deeper in CV for every α; "
+        "pure-latency and pure-throughput weightings pick different rungs.",
+    ),
+    ExperimentEntry(
+        "sensitivity_sigma",
+        "Sensitivity — Eq. 4 σ (adaptation sensitivity)",
+        "benchmarks/bench_sensitivity.py",
+        "(Design-choice sweep; no paper table.)",
+        "Tight σ tracks the CV setpoints closely; large σ flattens "
+        "selection.",
+    ),
+    ExperimentEntry(
+        "sensitivity_eq11",
+        "Sensitivity — Eq. 11 scaling-unit sigmoid",
+        "benchmarks/bench_sensitivity.py",
+        "(Design-choice sweep; no paper table.)",
+        "Monotone in CV and queue occupancy; calm/empty systems scale "
+        "with coarse units, bursty/congested ones with the finest.",
+    ),
+]
+
+#: Where the reproduction's shape knowingly diverges from the paper, and why.
+DIVERGENCES = """\
+## Known divergences (and why they are expected)
+
+* **Fig. 8 / Fig. 9 — AlpaServe's standing**: our AlpaServe provisions 75%
+  of an estimated 3× peak *at the granularity its offline optimiser
+  chose*, which on the simulated substrate amounts to roughly 2.25× mean
+  capacity always-on.  Under extreme bursts (CV=8) that overprovisioned
+  static fleet rides out spikes that FlexPipe must scale into, so
+  AlpaServe's mean latency beats FlexPipe's in Fig. 9 (the paper shows
+  FlexPipe ahead).  The gap traces to the substrate's batch-wave execution
+  model: elastic capacity pays a load + startup latency on every burst
+  while static capacity pays only idle cost — which Fig. 12 charges it
+  for: FlexPipe delivers its goodput at a fraction of AlpaServe's GPU
+  holding.
+* **Queue-length aggregates at extreme CV** (Fig. 3b): MMPP burst
+  workloads spend most wall-clock time quiet, so *time-averaged* queue
+  statistics dilute at CV=8; congestion shows up instead in the stall-
+  cycle blow-up (reproduced at ~46×, paper ~22×) and in the queue tail at
+  moderate CV.  The paper's queue series is a loaded-period measurement.
+* **Absolute latencies** are not comparable anywhere: the substrate
+  serialises a batch's decode across stages (batch-wave granularity)
+  rather than interleaving token iterations, which inflates execution
+  time for generation-heavy requests uniformly across all systems.
+* **Fig. 9 cross-model interference**: with both tenants deployed and the
+  cluster near its anti-affinity capacity, burst-driven scale-outs force
+  cross-model colocation, and the Eq. 9 penalty (quadratic in CV) then
+  throttles exactly the system that scaled hardest.  This emergent
+  behaviour is faithful to the paper's model but sized to our 82-GPU
+  simulated cluster.
+* **Fig. 11 absolute recovery times** are hundreds of ms rather than the
+  paper's tens: the §9.3 stall methodology keys off completion-latency
+  percentiles, and our batch-wave substrate quantises completions at
+  batch granularity, so recovery resolves no finer than roughly one batch
+  service time.  The orderings the assertions check (MuxServe degrading
+  hard from CV=1→2, FlexPipe comparable to AlpaServe) survive; the
+  paper's 9 ms headline does not reproduce at this substrate resolution.
+* **Fig. 13 margins** are a few percent rather than 6-24%: all systems
+  share one calibrated cost model, so prefill-latency differences come
+  only from placement and queueing, not from the kernel-level effects the
+  paper also captures.  The qualitative claim that survives is the trend:
+  FlexPipe's advantage is largest on the largest model (OPT-66B), where
+  it beats the static baseline on both mean prefill and P95.
+"""
+
+
+def render_experiments_md(results_dir: pathlib.Path | None = None) -> str:
+    """Build the EXPERIMENTS.md text from bench outputs on disk."""
+    results_dir = results_dir or DEFAULT_RESULTS_DIR
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Every table and figure in the paper's evaluation, reproduced on the",
+        "simulated substrate (see DESIGN.md for the substitution table). Per",
+        "the reproduction brief we match *shapes and ratios*, not testbed-",
+        "absolute numbers: the substrate is a calibrated simulator, not the",
+        "authors' 82-GPU cluster.",
+        "",
+        "Regenerate the measured blocks with:",
+        "",
+        "```bash",
+        "pytest benchmarks/ --benchmark-only   # writes benchmarks/_results/",
+        "python -m repro report                # rebuilds this file",
+        "```",
+        "",
+    ]
+    missing = []
+    for entry in ENTRIES:
+        lines.append(f"## {entry.artefact}")
+        lines.append("")
+        lines.append(f"*Bench:* `{entry.bench}`")
+        lines.append("")
+        lines.append(f"**Paper:** {entry.paper_claim}")
+        lines.append("")
+        lines.append(f"**Shape target:** {entry.shape_target}")
+        lines.append("")
+        result_path = results_dir / f"{entry.result_stem}.txt"
+        if result_path.exists():
+            lines.append("**Measured:**")
+            lines.append("")
+            lines.append("```")
+            lines.append(result_path.read_text().rstrip("\n"))
+            lines.append("```")
+        else:
+            missing.append(entry.result_stem)
+            lines.append(
+                "**Measured:** _bench not yet run — execute the command above._"
+            )
+        lines.append("")
+    if missing:
+        lines.append(
+            f"_Pending benches: {', '.join(missing)}._"
+        )
+        lines.append("")
+    lines.append(DIVERGENCES)
+    return "\n".join(lines)
+
+
+def write_experiments_md(
+    results_dir: pathlib.Path | None = None,
+    output: pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Render and write EXPERIMENTS.md; returns the output path."""
+    output = output or DEFAULT_OUTPUT
+    output.write_text(render_experiments_md(results_dir))
+    return output

@@ -1,0 +1,154 @@
+"""Per-run metric collection shared by all serving systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.latency import LatencyBreakdown, percentiles
+from repro.metrics.stalls import detect_stalls, recovery_times
+from repro.workloads.requests import Request
+
+
+@dataclass
+class ScalingEvent:
+    time: float
+    kind: str  # "scale_out" | "scale_in" | "refactor"
+    detail: str = ""
+    wait_time: float = 0.0  # allocation wait
+    init_time: float = 0.0  # load/transition duration
+    warm: bool = False
+
+
+@dataclass
+class RunSummary:
+    """Final numbers for one (system, workload) run."""
+
+    system: str
+    duration: float
+    offered: int
+    completed: int
+    goodput: int
+    goodput_rate: float
+    breakdown: LatencyBreakdown
+    latency_percentiles: dict[int, float]
+    mean_latency: float
+    mean_prefill_latency: float
+    gpu_utilization: float
+    gpus_used: int
+    mean_queue_length: float
+    p95_queue_length: float
+    stall_cycle: float
+    median_recovery: float
+    refactor_count: int
+    scale_out_count: int
+    warm_start_rate: float
+    mean_init_time: float
+    mean_alloc_wait: float
+
+
+class MetricsCollector:
+    """Accumulates request records, queue samples and operational events."""
+
+    def __init__(self, system: str):
+        self.system = system
+        self.records: list[Request] = []
+        self.submit_times: list[float] = []
+        self.queue_samples: list[tuple[float, int]] = []
+        self.events: list[ScalingEvent] = []
+
+    @property
+    def offered(self) -> int:
+        return len(self.submit_times)
+
+    # ------------------------------------------------------------------
+    def on_submit(self, request: Request) -> None:
+        self.submit_times.append(request.arrival_time)
+
+    def on_complete(self, request: Request) -> None:
+        self.records.append(request)
+
+    def sample_queue(self, now: float, length: int) -> None:
+        self.queue_samples.append((now, length))
+
+    def on_event(self, event: ScalingEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def summarize(
+        self,
+        duration: float,
+        *,
+        gpu_busy_seconds: float = 0.0,
+        gpus_used: int = 0,
+        total_gpus: int = 0,
+        measure_from: float = 0.0,
+    ) -> RunSummary:
+        """Summarise requests arriving at/after ``measure_from`` (warm-up
+        transients excluded from the measured epoch)."""
+        offered = sum(1 for t in self.submit_times if t >= measure_from)
+        done = [
+            r
+            for r in self.records
+            if r.completed and r.arrival_time >= measure_from
+        ]
+        latencies = np.array([r.latency for r in done]) if done else np.array([])
+        goodput = sum(1 for r in done if r.slo_met)
+        queue = np.array([r.queue_time for r in done]) if done else np.array([])
+        execution = np.array([r.exec_time for r in done]) if done else np.array([])
+        comm = np.array([r.comm_time for r in done]) if done else np.array([])
+        prefill = np.array(
+            [r.prefill_latency for r in done if r.prefill_latency is not None]
+        )
+        qlens = np.array(
+            [q for t, q in self.queue_samples if t >= measure_from]
+        )
+        episodes = detect_stalls(
+            [r.completion_time for r in done], [r.latency for r in done]
+        )
+        recoveries = recovery_times(episodes)
+        scale_outs = [e for e in self.events if e.kind == "scale_out"]
+        refactors = [e for e in self.events if e.kind == "refactor"]
+        denominator = max(gpus_used, 1) * duration
+        return RunSummary(
+            system=self.system,
+            duration=duration,
+            offered=offered,
+            completed=len(done),
+            goodput=goodput,
+            goodput_rate=goodput / offered if offered else 0.0,
+            breakdown=LatencyBreakdown(
+                queue=float(queue.mean()) if queue.size else 0.0,
+                execution=float(execution.mean()) if execution.size else 0.0,
+                communication=float(comm.mean()) if comm.size else 0.0,
+            ),
+            latency_percentiles=percentiles(latencies),
+            mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+            mean_prefill_latency=float(prefill.mean()) if prefill.size else 0.0,
+            gpu_utilization=min(gpu_busy_seconds / denominator, 1.0)
+            if denominator > 0
+            else 0.0,
+            gpus_used=gpus_used,
+            mean_queue_length=float(qlens.mean()) if qlens.size else 0.0,
+            p95_queue_length=float(np.percentile(qlens, 95)) if qlens.size else 0.0,
+            stall_cycle=float(np.mean(recoveries)) if recoveries else 0.0,
+            median_recovery=float(np.median(recoveries)) if recoveries else 0.0,
+            refactor_count=len(refactors),
+            scale_out_count=len(scale_outs),
+            warm_start_rate=(
+                sum(1 for e in scale_outs if e.warm) / len(scale_outs)
+                if scale_outs
+                else 0.0
+            ),
+            mean_init_time=(
+                float(np.mean([e.init_time for e in scale_outs]))
+                if scale_outs
+                else 0.0
+            ),
+            mean_alloc_wait=(
+                float(np.mean([e.wait_time for e in scale_outs]))
+                if scale_outs
+                else 0.0
+            ),
+        )

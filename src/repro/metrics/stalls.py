@@ -1,0 +1,84 @@
+"""Pipeline-stall detection and recovery measurement (§9.3).
+
+The paper's methodology: a stall begins when response latency exceeds
+1.5x the baseline (P25 latency under normal operation) and has recovered
+when latency returns under 1.2x baseline.  We evaluate this over the
+completion-ordered latency series, smoothed with a short moving median so
+single outlier completions do not open/close episodes spuriously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StallEpisode:
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _moving_median(values: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1 or values.size <= window:
+        return values
+    out = np.empty_like(values)
+    half = window // 2
+    for i in range(values.size):
+        lo = max(i - half, 0)
+        hi = min(i + half + 1, values.size)
+        out[i] = np.median(values[lo:hi])
+    return out
+
+
+def detect_stalls(
+    completion_times,
+    latencies,
+    *,
+    stall_factor: float = 1.5,
+    recover_factor: float = 1.2,
+    baseline_quantile: float = 25.0,
+    smooth_window: int = 5,
+) -> list[StallEpisode]:
+    """Find stall episodes in a latency series (per the §9.3 definitions)."""
+    t = np.asarray(list(completion_times), dtype=float)
+    lat = np.asarray(list(latencies), dtype=float)
+    if t.size != lat.size:
+        raise ValueError("completion_times and latencies must align")
+    if t.size < 8:
+        return []
+    order = np.argsort(t)
+    t, lat = t[order], lat[order]
+    baseline = float(np.percentile(lat, baseline_quantile))
+    if baseline <= 0:
+        return []
+    smoothed = _moving_median(lat, smooth_window)
+    stall_at = baseline * stall_factor
+    recover_at = baseline * recover_factor
+    episodes: list[StallEpisode] = []
+    start: float | None = None
+    for ti, li in zip(t, smoothed):
+        if start is None and li > stall_at:
+            start = ti
+        elif start is not None and li < recover_at:
+            episodes.append(StallEpisode(start, ti))
+            start = None
+    if start is not None:
+        episodes.append(StallEpisode(start, float(t[-1])))
+    return episodes
+
+
+def recovery_times(episodes: list[StallEpisode]) -> list[float]:
+    return [e.duration for e in episodes]
+
+
+def median_recovery(episodes: list[StallEpisode]) -> float:
+    times = recovery_times(episodes)
+    if not times:
+        return 0.0
+    return float(np.median(times))

@@ -1,0 +1,168 @@
+"""Fit cost-model constants from Table-2-style profile measurements.
+
+The shipped :class:`~repro.models.costs.CostModelConfig` is calibrated
+against the paper's Table 2.  A user deploying this library against *their
+own* hardware profile needs the inverse operation: given measured
+(stage-size, compute-time) and (stage-count, per-hop-comm) rows from a
+profiling run, recover the calibration constants.  This module provides
+those fits plus goodness-of-fit reporting, so re-calibration is a
+one-function call:
+
+    >>> rows = [ProfileRow(stages=4, param_bytes=30 * GB,
+    ...                    compute_time=69.94e-3, comm_time=6.3e-3,
+    ...                    load_time=47.14), ...]
+    >>> config = fit_cost_model(rows)
+    >>> CostModel(config)
+
+Fits are ordinary least squares on the affine compute model and on the
+per-hop communication model — the same functional forms the forward model
+uses, so a fit of the paper's own rows reproduces the shipped constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.models.costs import CostModelConfig
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One granularity row of a Table-2-style profiling run.
+
+    ``compute_time`` is the per-stage iteration time, ``comm_time`` the
+    total inter-stage communication per iteration (the paper's "Comm."
+    column, i.e. ``(stages - 1)`` hops), and ``load_time`` the cold
+    parameter-load time of one stage.  Times are seconds, sizes bytes.
+    """
+
+    stages: int
+    param_bytes: float
+    compute_time: float
+    comm_time: float
+    load_time: float
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValueError(f"stages must be >= 1, got {self.stages}")
+        if self.param_bytes <= 0:
+            raise ValueError("param_bytes must be positive")
+        for name in ("compute_time", "comm_time", "load_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """A fitted configuration plus per-component relative errors."""
+
+    config: CostModelConfig
+    compute_max_rel_error: float
+    comm_max_rel_error: float
+
+    def acceptable(self, tolerance: float = 0.05) -> bool:
+        """Did the affine forms explain the measurements to ``tolerance``?"""
+        return (
+            self.compute_max_rel_error <= tolerance
+            and self.comm_max_rel_error <= tolerance
+        )
+
+
+def fit_compute(rows: list[ProfileRow]) -> tuple[float, float]:
+    """Least-squares fit of ``t = fixed + per_byte * param_bytes``.
+
+    Returns (fixed seconds, per-byte seconds).  Needs at least two rows
+    with distinct stage sizes.
+    """
+    if len(rows) < 2:
+        raise ValueError("compute fit needs at least two profile rows")
+    sizes = np.array([r.param_bytes for r in rows])
+    times = np.array([r.compute_time for r in rows])
+    if np.allclose(sizes, sizes[0]):
+        raise ValueError("compute fit needs distinct stage sizes")
+    design = np.stack([np.ones_like(sizes), sizes], axis=1)
+    (fixed, per_byte), *_ = np.linalg.lstsq(design, times, rcond=None)
+    return float(fixed), float(per_byte)
+
+
+def fit_comm(rows: list[ProfileRow]) -> float:
+    """Fit the per-hop cost from total comm times: ``comm = (K-1) * hop``.
+
+    Least squares through the origin in hop count; single-stage rows
+    (zero hops, zero comm) contribute nothing but are accepted.
+    """
+    hops = np.array([r.stages - 1 for r in rows], dtype=float)
+    comm = np.array([r.comm_time for r in rows])
+    denom = float(np.dot(hops, hops))
+    if denom == 0:
+        raise ValueError("comm fit needs at least one multi-stage row")
+    return float(np.dot(hops, comm) / denom)
+
+
+def fit_cost_model(
+    rows: list[ProfileRow],
+    base: CostModelConfig | None = None,
+    *,
+    act_bytes_at_profile: float = 0.0,
+) -> FitReport:
+    """Recover calibration constants from a profiling run.
+
+    ``act_bytes_at_profile`` is the boundary activation size at the
+    profiling operating point; the wire-time share of each measured hop
+    (``act_bytes / network_bandwidth``) is subtracted before fitting the
+    fixed hop overhead, mirroring how the forward model composes the two.
+    The load curve is taken directly from the measured (size, time) pairs.
+    """
+    if not rows:
+        raise ValueError("need at least one profile row")
+    base = base or CostModelConfig()
+    fixed, per_byte = fit_compute(rows)
+    wire = act_bytes_at_profile / base.network_bandwidth
+    hop_total = fit_comm(rows)
+    hop_overhead = max(hop_total - wire, 0.0)
+    load_points = tuple(
+        sorted({(r.param_bytes, r.load_time) for r in rows}, key=lambda p: p[0])
+    )
+    config = replace(
+        base,
+        compute_fixed=fixed,
+        compute_per_byte=per_byte,
+        hop_overhead=hop_overhead,
+        load_points=load_points,
+    )
+    # Goodness of fit against the inputs.
+    compute_errors = [
+        abs((fixed + per_byte * r.param_bytes) / r.compute_time - 1.0)
+        for r in rows
+        if r.compute_time > 0
+    ]
+    comm_errors = [
+        abs(((r.stages - 1) * hop_total) / r.comm_time - 1.0)
+        for r in rows
+        if r.comm_time > 0 and r.stages > 1
+    ]
+    return FitReport(
+        config=config,
+        compute_max_rel_error=max(compute_errors, default=0.0),
+        comm_max_rel_error=max(comm_errors, default=0.0),
+    )
+
+
+#: The paper's Table 2, expressed as profile rows (OPT-66B, 120 GB total).
+TABLE2_ROWS: tuple[ProfileRow, ...] = tuple(
+    ProfileRow(
+        stages=stages,
+        param_bytes=120 / stages * 2**30 * 1.0,
+        compute_time=compute,
+        comm_time=comm,
+        load_time=load,
+    )
+    for stages, load, compute, comm in (
+        (4, 47.14, 69.94e-3, 6.3e-3),
+        (8, 13.05, 36.63e-3, 14.7e-3),
+        (16, 9.19, 18.67e-3, 31.5e-3),
+        (32, 5.43, 9.67e-3, 65.1e-3),
+    )
+)

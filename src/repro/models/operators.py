@@ -1,0 +1,84 @@
+"""Operators: the vertices of the computation graph (§5).
+
+Each operator carries the three metrics the paper's Profiling module
+measures: computation time ``t_c`` (derived from the cost model), parameter
+size ``s_p`` and activation size ``s_a``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """Transformer operator taxonomy used for partition-boundary rules."""
+
+    EMBED = "embed"
+    LAYERNORM = "layernorm"
+    QKV_PROJ = "qkv_proj"
+    ATTENTION = "attention"
+    ATTN_OUT = "attn_out"
+    MLP_FC1 = "mlp_fc1"
+    MLP_FC2 = "mlp_fc2"
+    FINAL_NORM = "final_norm"
+    LM_HEAD = "lm_head"
+    CONV_FRONTEND = "conv_frontend"  # Whisper audio encoder stem
+    CROSS_ATTENTION = "cross_attention"
+
+
+# Operators after which the computation graph may NOT be cut: splitting
+# between QKV projection and the attention kernel (or mid-attention) would
+# break the attention block's intra-op data layout.  These encode the
+# "preserved computational graph constraints" of §5.
+_UNCUTTABLE_AFTER = {
+    OpKind.QKV_PROJ,
+    OpKind.LAYERNORM,
+    OpKind.FINAL_NORM,
+    OpKind.CONV_FRONTEND,
+}
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A single operator in the model's computation graph.
+
+    ``layer`` is the transformer layer index (-1 for pre/post ops);
+    ``block`` names the logical group ("layer12.attn", "layer12.mlp") whose
+    boundaries the Eq. 2 regulariser prefers to cut at.
+    """
+
+    index: int
+    name: str
+    kind: OpKind
+    layer: int
+    block: str
+    param_bytes: float
+    flops_per_token: float
+    activation_bytes_per_token: float
+    kv_bytes_per_token: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.param_bytes < 0 or self.flops_per_token < 0:
+            raise ValueError(f"negative cost fields on operator {self.name!r}")
+
+    @property
+    def cuttable_after(self) -> bool:
+        """Whether a pipeline partition boundary may follow this operator."""
+        return self.kind not in _UNCUTTABLE_AFTER
+
+    def boundary_quality(self, next_op: "Operator | None") -> float:
+        """Refactoring-friendliness of a cut after this operator (Eq. 2 R-term).
+
+        1.0 at layer boundaries (best for future merging), 0.5 at intra-layer
+        block boundaries (attn/mlp), 0.0 where cutting is forbidden.
+        """
+        if not self.cuttable_after:
+            return 0.0
+        if next_op is None:
+            return 1.0
+        if next_op.layer != self.layer:
+            return 1.0
+        if next_op.block != self.block:
+            return 0.5
+        return 0.1  # legal but awkward (inside a block)

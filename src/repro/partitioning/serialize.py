@@ -1,0 +1,205 @@
+"""Plan serialization and transition diffing.
+
+Production controllers persist partition plans (the offline artefact of
+Fig. 5's model developer path) and reason about what a transition between
+two plans actually moves.  This module provides both:
+
+* :func:`plan_to_dict` / JSON round-trips for :class:`PartitionPlan`
+  (cuts + per-stage profile numbers are enough to reconstruct costs);
+* :class:`TransitionDiff` — given two plans from the *same ladder*, which
+  target stages can reuse a resident GPU (their leading fine range is
+  already loaded) and how many parameter bytes each fresh stage must load.
+  These are the quantities the refactoring executor budgets (Fig. 6's
+  "load stage in new instance" vs "layer-wised merge state" paths).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.models.profiler import ModelProfile
+from repro.partitioning.plan import PartitionPlan, StagePlan
+
+
+def plan_to_dict(plan: PartitionPlan) -> dict:
+    """A JSON-safe description of a plan (cuts + stage summaries)."""
+    return {
+        "model": plan.model_name,
+        "n_stages": plan.n_stages,
+        "objective": plan.objective,
+        "max_batch": plan.max_batch,
+        "stages": [
+            {
+                "index": s.index,
+                "start": s.start,
+                "end": s.end,
+                "param_bytes": s.param_bytes,
+                "max_batch": s.max_batch,
+            }
+            for s in plan.stages
+        ],
+    }
+
+
+def plan_to_json(plan: PartitionPlan, path: str | pathlib.Path | None = None) -> str:
+    """Serialise a plan; optionally also write it to ``path``."""
+    text = json.dumps(plan_to_dict(plan), indent=2)
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def plan_from_dict(payload: dict, profile: ModelProfile) -> PartitionPlan:
+    """Rebuild a plan against a live profile (re-deriving stage profiles).
+
+    The serialised form stores only the cut structure; stage profiles are
+    recomputed from the model graph so cost numbers always reflect the
+    current calibration rather than whatever produced the file.
+    """
+    if payload["model"] != profile.spec.name:
+        raise ValueError(
+            f"plan is for {payload['model']!r}, profile is "
+            f"{profile.spec.name!r}"
+        )
+    stages = []
+    for meta in payload["stages"]:
+        stage_profile = profile.stage(meta["start"], meta["end"])
+        stages.append(
+            StagePlan(
+                index=meta["index"],
+                profile=stage_profile,
+                max_batch=meta["max_batch"],
+            )
+        )
+    expected_ops = len(profile.graph)
+    if not stages or stages[0].start != 0 or stages[-1].end != expected_ops:
+        raise ValueError("plan does not cover the full operator range")
+    for prev, cur in zip(stages, stages[1:]):
+        if cur.start != prev.end:
+            raise ValueError(
+                f"stage {cur.index} starts at {cur.start}, expected {prev.end}"
+            )
+    return PartitionPlan(
+        model_name=payload["model"],
+        stages=tuple(stages),
+        objective=payload.get("objective", 0.0),
+    )
+
+
+def plan_from_json(
+    source: str | pathlib.Path, profile: ModelProfile
+) -> PartitionPlan:
+    """Load a plan from a JSON string or file path."""
+    if isinstance(source, pathlib.Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".json")
+    ):
+        text = pathlib.Path(source).read_text()
+    else:
+        text = source
+    return plan_from_dict(json.loads(text), profile)
+
+
+# ----------------------------------------------------------------------
+# Transition diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageTransition:
+    """How one target stage comes into existence."""
+
+    target_index: int
+    start: int
+    end: int
+    reuses_source_index: int | None  # source stage whose GPU is retained
+    load_bytes: float  # parameter bytes that must be loaded
+
+
+@dataclass(frozen=True)
+class TransitionDiff:
+    """The byte-level footprint of an old-plan → new-plan transition."""
+
+    source_stages: int
+    target_stages: int
+    stages: tuple[StageTransition, ...]
+
+    @property
+    def reused_gpus(self) -> int:
+        return sum(1 for s in self.stages if s.reuses_source_index is not None)
+
+    @property
+    def fresh_gpus(self) -> int:
+        return len(self.stages) - self.reused_gpus
+
+    @property
+    def total_load_bytes(self) -> float:
+        return sum(s.load_bytes for s in self.stages)
+
+    @property
+    def kind(self) -> str:
+        if self.target_stages > self.source_stages:
+            return "split"
+        if self.target_stages < self.source_stages:
+            return "merge"
+        return "noop"
+
+
+def diff_plans(source: PartitionPlan, target: PartitionPlan) -> TransitionDiff:
+    """Per-stage reuse/load analysis for a transition between ladder rungs.
+
+    A target stage *reuses* the GPU of the source stage whose operator
+    range starts where it starts (the executor's retention rule): that GPU
+    already holds the shared leading range, so only the complement —
+    operators of the target stage beyond the source stage's end — needs
+    loading.  Works for any two plans over the same operator ranges; plans
+    from the same nested ladder maximise reuse by construction.
+    """
+    if source.model_name != target.model_name:
+        raise ValueError(
+            f"cannot diff plans of different models "
+            f"({source.model_name!r} vs {target.model_name!r})"
+        )
+    by_start = {s.start: s for s in source.stages}
+    transitions = []
+    for t in target.stages:
+        src = by_start.get(t.start)
+        if src is None:
+            # No source stage starts here: a fresh GPU loads everything.
+            transitions.append(
+                StageTransition(t.index, t.start, t.end, None, t.param_bytes)
+            )
+            continue
+        shared_end = min(src.end, t.end)
+        shared_bytes = _range_bytes(source, t.start, shared_end)
+        transitions.append(
+            StageTransition(
+                t.index,
+                t.start,
+                t.end,
+                src.index,
+                max(t.param_bytes - shared_bytes, 0.0),
+            )
+        )
+    return TransitionDiff(
+        source_stages=source.n_stages,
+        target_stages=target.n_stages,
+        stages=tuple(transitions),
+    )
+
+
+def _range_bytes(plan: PartitionPlan, start: int, end: int) -> float:
+    """Parameter bytes of operators [start, end) using the plan's profiles.
+
+    Stage profiles cover contiguous ranges, so the overlap fraction is
+    prorated by operator count within each stage — exact when operators in
+    a stage have uniform size, and a close bound otherwise (it is only
+    used to size loads, never for correctness).
+    """
+    total = 0.0
+    for stage in plan.stages:
+        lo, hi = max(stage.start, start), min(stage.end, end)
+        if lo >= hi:
+            continue
+        span = stage.end - stage.start
+        total += stage.param_bytes * (hi - lo) / span
+    return total

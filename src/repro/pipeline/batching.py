@@ -1,0 +1,132 @@
+"""Dynamic batching (the paper builds on Orca-style dynamic batching, §7).
+
+Policy: requests accumulate for up to ``max_wait`` (the iteration-scheduling
+window of continuous-batching systems) or until the granularity's batch
+capacity is reached; a batch dispatches when the entry stage is free.  The
+window is what amortises the per-iteration weight-streaming cost across
+requests — dispatching singletons eagerly would cap throughput at the
+batch-1 iteration rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.simulation.engine import Event, Simulator
+from repro.workloads.requests import Request
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    max_batch: int = 128
+    max_wait: float = 0.3  # accumulation window before dispatch
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+
+
+class DynamicBatcher:
+    """Accumulates requests and emits batches to a dispatch callback.
+
+    ``can_dispatch`` tells the batcher whether the pipeline entry stage can
+    accept a batch right now; ``dispatch`` consumes a list of requests.
+    The owner must call :meth:`pump` whenever the entry stage frees up.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: BatcherConfig,
+        can_dispatch: Callable[[], bool],
+        dispatch: Callable[[list[Request]], None],
+    ):
+        self.sim = sim
+        self.config = config
+        self.can_dispatch = can_dispatch
+        self.dispatch = dispatch
+        self.queue: deque[Request] = deque()
+        self._enqueued_at: deque[float] = deque()
+        self._timer: Event | None = None
+        self.batches_formed = 0
+        self.requests_batched = 0
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._enqueued_at.append(self.sim.now)
+        if len(self.queue) >= self.config.max_batch and self.can_dispatch():
+            self._emit()
+        elif self._timer is None:
+            self._arm_timer()
+
+    def pump(self) -> None:
+        """Called when the entry stage frees up: dispatch ripe batches."""
+        if not self.queue or not self.can_dispatch():
+            return
+        if len(self.queue) >= self.config.max_batch or self._oldest_ripe():
+            self._emit()
+
+    def flush(self) -> list[Request]:
+        """Drain without dispatching (used when a replica is torn down)."""
+        out = list(self.queue)
+        self.queue.clear()
+        self._enqueued_at.clear()
+        self._disarm_timer()
+        return out
+
+    # ------------------------------------------------------------------
+    def _oldest_ripe(self) -> bool:
+        if not self._enqueued_at:
+            return False
+        return self.sim.now - self._enqueued_at[0] >= self.config.max_wait
+
+    def _emit(self) -> None:
+        self._disarm_timer()
+        n = min(len(self.queue), self.config.max_batch)
+        batch = [self.queue.popleft() for _ in range(n)]
+        for _ in range(n):
+            self._enqueued_at.popleft()
+        self.batches_formed += 1
+        self.requests_batched += n
+        self.dispatch(batch)
+        if self.queue:
+            self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        self._disarm_timer()
+        delay = self.config.max_wait
+        if self._enqueued_at:
+            # Fire when the oldest queued request's window closes.
+            delay = max(
+                self.config.max_wait - (self.sim.now - self._enqueued_at[0]), 0.0
+            )
+        self._timer = self.sim.schedule(delay, self._timeout)
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _timeout(self) -> None:
+        self._timer = None
+        if not self.queue:
+            return
+        if self.can_dispatch():
+            self._emit()
+        else:
+            # Entry stage busy: it will pump() on completion; keep a
+            # heartbeat so the wait bound survives pathological schedules.
+            self._timer = self.sim.schedule(self.config.max_wait, self._timeout)
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches_formed == 0:
+            return 0.0
+        return self.requests_batched / self.batches_formed

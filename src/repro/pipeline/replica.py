@@ -1,0 +1,304 @@
+"""A pipeline replica: one chain of stages serving one model.
+
+Lifecycle::
+
+    LOADING --(all stages loaded)--> ACTIVE --(drain request)--> DRAINING
+        --(in-flight work finishes)--> RELEASED
+
+Inflight refactoring swaps the stage chain *while ACTIVE*: new batches run
+on the new chain immediately, jobs already in the pipeline finish on the
+old chain (each job carries references to its stages), and old stages
+retire when their last job completes — no request is dropped or paused,
+which is the paper's central mechanism (§6, Fig. 6).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import statistics
+from typing import Callable
+
+from repro.cluster.allocator import StageReservation
+from repro.models.profiler import ModelProfile
+from repro.partitioning.batch_scaling import activation_bytes
+from repro.partitioning.plan import PartitionPlan
+from repro.pipeline.batching import BatcherConfig, DynamicBatcher
+from repro.pipeline.stage import BatchJob, StageRuntime
+from repro.simulation.engine import Simulator
+from repro.workloads.requests import Request
+
+_job_ids = itertools.count()
+
+
+class ReplicaState(enum.Enum):
+    LOADING = "loading"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RELEASED = "released"
+
+
+class PipelineReplica:
+    """Executes batches over a chain of :class:`StageRuntime` stages."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: ModelProfile,
+        plan: PartitionPlan,
+        reservations: list[StageReservation],
+        *,
+        batcher_config: BatcherConfig | None = None,
+        on_request_complete: Callable[[Request], None],
+        on_active: Callable[["PipelineReplica"], None] | None = None,
+        on_released: Callable[["PipelineReplica"], None] | None = None,
+        interference: Callable | None = None,
+        name: str | None = None,
+    ):
+        if len(reservations) != plan.n_stages:
+            raise ValueError(
+                f"{plan.n_stages} stages need {plan.n_stages} reservations, "
+                f"got {len(reservations)}"
+            )
+        self.sim = sim
+        self.profile = profile
+        self.plan = plan
+        self.name = name or f"replica-{next(_job_ids)}"
+        self.state = ReplicaState.LOADING
+        self.on_request_complete = on_request_complete
+        self.on_active = on_active
+        self.on_released = on_released
+        self.interference = interference
+        self.stages = self._build_stages(plan, reservations)
+        cfg = batcher_config or BatcherConfig(max_batch=plan.max_batch)
+        self.batcher = DynamicBatcher(
+            sim, cfg, self._can_dispatch, self._dispatch
+        )
+        self.created_at = sim.now
+        self.activated_at: float | None = None
+        self.inflight_jobs = 0
+        self.inflight_requests = 0
+        self.completed_requests = 0
+        self._retired_stages: list[StageRuntime] = []
+        # Jobs outstanding per stage chain (keyed by chain identity), so a
+        # superseded chain's GPUs release only after its last job finishes.
+        self._chain_jobs: dict[int, int] = {}
+        self._chains: dict[int, list[StageRuntime]] = {}
+        self.on_stage_retired: Callable[[StageRuntime], None] | None = None
+        self.reconfig_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_stages(
+        self, plan: PartitionPlan, reservations: list[StageReservation]
+    ) -> list[StageRuntime]:
+        return [
+            StageRuntime(
+                self.sim,
+                k,
+                stage_plan,
+                reservation,
+                self._on_stage_done,
+                interference=self.interference,
+            )
+            for k, (stage_plan, reservation) in enumerate(
+                zip(plan.stages, reservations)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Mark loading finished; the router may now dispatch to us."""
+        if self.state is not ReplicaState.LOADING:
+            raise RuntimeError(f"activate() in state {self.state}")
+        self.state = ReplicaState.ACTIVE
+        self.activated_at = self.sim.now
+        if self.on_active is not None:
+            self.on_active(self)
+
+    def drain(self) -> None:
+        """Stop accepting work; release resources when in-flight work ends."""
+        if self.state in (ReplicaState.DRAINING, ReplicaState.RELEASED):
+            return
+        self.state = ReplicaState.DRAINING
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        if (
+            self.state is ReplicaState.DRAINING
+            and self.inflight_jobs == 0
+            and len(self.batcher) == 0
+        ):
+            self.state = ReplicaState.RELEASED
+            if self.on_released is not None:
+                self.on_released(self)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        return self.state is ReplicaState.ACTIVE
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting or executing here (JSQ routing signal)."""
+        return len(self.batcher) + self.inflight_requests
+
+    def submit(self, request: Request) -> None:
+        if not self.accepting:
+            raise RuntimeError(f"submit() to {self.name} in state {self.state}")
+        self.batcher.enqueue(request)
+
+    def _can_dispatch(self) -> bool:
+        return self.stages[0].idle
+
+    def _dispatch(self, requests: list[Request]) -> None:
+        now = self.sim.now
+        for request in requests:
+            request.batch_time = now
+        job = self._make_job(requests)
+        self.inflight_jobs += 1
+        self.inflight_requests += len(requests)
+        job.stages = self.stages  # jobs finish on the chain they started on
+        chain_key = id(self.stages)
+        self._chains[chain_key] = self.stages
+        self._chain_jobs[chain_key] = self._chain_jobs.get(chain_key, 0) + 1
+        self.stages[0].enqueue(job)
+
+    def _make_job(self, requests: list[Request]) -> BatchJob:
+        cm = self.profile.cost_model
+        batch = len(requests)
+        mean_prompt = statistics.fmean(r.prompt_tokens for r in requests)
+        mean_out = statistics.fmean(r.output_tokens for r in requests)
+        stage_busy, stage_prefill, handoff = [], [], []
+        stages = self.plan.stages
+        for k, stage in enumerate(stages):
+            prefill = cm.prefill_time(
+                stage.profile.flops_per_token, batch * mean_prompt
+            )
+            decode = mean_out * cm.decode_iter_time(stage.param_bytes, batch)
+            stage_prefill.append(prefill)
+            stage_busy.append(prefill + decode)
+            if k < len(stages) - 1:
+                act_ptok = stage.profile.boundary_act_bytes_per_token
+                base = 128 * act_ptok  # Eq. 3 base batch
+                act_prefill = activation_bytes(base * mean_prompt, batch)
+                act_decode = activation_bytes(base, batch)
+                handoff.append(
+                    cm.hop_time(act_prefill) + mean_out * cm.hop_time(act_decode)
+                )
+        return BatchJob(
+            jid=next(_job_ids),
+            requests=requests,
+            stage_busy=stage_busy,
+            stage_prefill=stage_prefill,
+            handoff=handoff,
+            created_at=self.sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage completion plumbing
+    # ------------------------------------------------------------------
+    def _on_stage_done(self, job: BatchJob, stage_index: int) -> None:
+        stages: list[StageRuntime] = job.stages
+        if stage_index == 0 and stages is self.stages:
+            # Entry stage freed: more queued requests may dispatch.
+            self.batcher.pump()
+        if stage_index + 1 < len(stages):
+            delay = job.handoff[stage_index]
+            job.comm_time += delay
+            self.sim.schedule(delay, stages[stage_index + 1].enqueue, job)
+            return
+        self._complete_job(job, stages)
+
+    def _complete_job(self, job: BatchJob, stages: list[StageRuntime]) -> None:
+        now = self.sim.now
+        last = len(stages) - 1
+        prefill_done = job.stage_started[last] + job.stage_prefill[last]
+        for request in job.requests:
+            request.exec_start = job.exec_start
+            request.prefill_done = prefill_done
+            request.completion_time = now
+            request.exec_time = job.exec_time
+            request.comm_time = job.comm_time
+            latency = now - request.arrival_time
+            request.queue_time = max(latency - job.exec_time - job.comm_time, 0.0)
+            self.on_request_complete(request)
+        self.inflight_jobs -= 1
+        self.inflight_requests -= len(job.requests)
+        self.completed_requests += len(job.requests)
+        chain_key = id(stages)
+        remaining = self._chain_jobs.get(chain_key, 1) - 1
+        self._chain_jobs[chain_key] = remaining
+        if remaining == 0 and stages[0].retired:
+            self._retire_chain(chain_key)
+        self._maybe_release()
+
+    # ------------------------------------------------------------------
+    # Inflight reconfiguration (used by the refactoring executor)
+    # ------------------------------------------------------------------
+    def swap_stages(
+        self,
+        new_plan: PartitionPlan,
+        new_reservations: list[StageReservation],
+        *,
+        batch_cap: int | None = None,
+    ) -> list[StageRuntime]:
+        """Atomically switch new batches onto a new stage chain.
+
+        Returns the *old* stages, now marked retired; each fires
+        ``on_stage_retired`` once its last in-flight job completes (the
+        executor then releases or trims its reservation).
+        """
+        if self.state is ReplicaState.RELEASED:
+            raise RuntimeError("swap_stages on a released replica")
+        old_stages = self.stages
+        for stage in old_stages:
+            stage.retired = True
+        self.plan = new_plan
+        self.stages = self._build_stages(new_plan, new_reservations)
+        max_batch = min(new_plan.max_batch, batch_cap or new_plan.max_batch)
+        self.batcher.config = BatcherConfig(
+            max_batch=max(max_batch, 1), max_wait=self.batcher.config.max_wait
+        )
+        self.reconfig_count += 1
+        # A chain with no in-flight work retires immediately.
+        old_key = id(old_stages)
+        if self._chain_jobs.get(old_key, 0) == 0:
+            self._chains.setdefault(old_key, old_stages)
+            self._retire_chain(old_key)
+        self.batcher.pump()
+        return old_stages
+
+    def _retire_chain(self, chain_key: int) -> None:
+        stages = self._chains.pop(chain_key, None)
+        self._chain_jobs.pop(chain_key, None)
+        if stages is None:
+            return
+        for stage in stages:
+            if stage in self._retired_stages:
+                continue
+            self._retired_stages.append(stage)
+            if self.on_stage_retired is not None:
+                self.on_stage_retired(stage)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        return self.plan.n_stages
+
+    def kv_bytes_in_flight(self) -> float:
+        """Approximate KV resident for requests currently in the pipeline."""
+        return self.inflight_requests * self.profile.spec.kv_bytes_per_request
+
+    @property
+    def init_latency(self) -> float | None:
+        if self.activated_at is None:
+            return None
+        return self.activated_at - self.created_at

@@ -1,0 +1,89 @@
+"""Per-model request router (the gateway updated during refactoring).
+
+Join-the-shortest-queue across ACTIVE replicas; requests arriving while no
+replica is active wait in a pending queue (this is where cold-start latency
+becomes queue time).  The refactoring executor's "update gateway" step is
+the ``add``/``remove`` pair here — an O(1) metadata update, which is why
+switchover costs milliseconds, not seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.pipeline.replica import PipelineReplica
+from repro.simulation.engine import Simulator
+from repro.workloads.requests import Request
+
+
+class ModelRouter:
+    """Routes one model's requests over its replica set."""
+
+    def __init__(self, sim: Simulator, model: str):
+        self.sim = sim
+        self.model = model
+        self.replicas: list[PipelineReplica] = []
+        self.pending: deque[Request] = deque()
+        self.routed = 0
+        self.gateway_updates = 0
+
+    # ------------------------------------------------------------------
+    def add(self, replica: PipelineReplica) -> None:
+        """Register an ACTIVE replica and drain any pending requests."""
+        if replica not in self.replicas:
+            self.replicas.append(replica)
+            self.gateway_updates += 1
+        self._drain_pending()
+
+    def remove(self, replica: PipelineReplica) -> None:
+        if replica in self.replicas:
+            self.replicas.remove(replica)
+            self.gateway_updates += 1
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        target = self._pick()
+        if target is None:
+            self.pending.append(request)
+            return
+        self.routed += 1
+        target.submit(request)
+
+    def _pick(self) -> PipelineReplica | None:
+        active = [r for r in self.replicas if r.accepting]
+        if not active:
+            return None
+        return min(active, key=lambda r: (r.queue_length / max(r.plan.max_batch, 1)))
+
+    def _drain_pending(self) -> None:
+        while self.pending:
+            target = self._pick()
+            if target is None:
+                return
+            self.routed += 1
+            target.submit(self.pending.popleft())
+
+    # ------------------------------------------------------------------
+    @property
+    def total_queue(self) -> int:
+        """Pending + queued across replicas (the q̂ of Eq. 11)."""
+        return len(self.pending) + sum(
+            r.queue_length for r in self.replicas if r.accepting
+        )
+
+    @property
+    def waiting_count(self) -> int:
+        """Requests not yet executing (the paper's queue-length metric).
+
+        Excludes in-flight batches: a loaded pipeline always holds several
+        batch-waves of in-service requests, which is occupancy, not
+        congestion.
+        """
+        return len(self.pending) + sum(
+            len(r.batcher) for r in self.replicas if r.accepting
+        )
+
+    @property
+    def active_replicas(self) -> list[PipelineReplica]:
+        return [r for r in self.replicas if r.accepting]

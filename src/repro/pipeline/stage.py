@@ -1,0 +1,118 @@
+"""A pipeline stage executing on one (possibly shared) GPU."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.allocator import StageReservation
+from repro.cluster.gpu import GPU
+from repro.partitioning.plan import StagePlan
+from repro.simulation.engine import Simulator
+
+
+@dataclass
+class BatchJob:
+    """One batch travelling through the pipeline.
+
+    Per-stage timings are precomputed at batch formation (the cost model is
+    deterministic given the batch composition); interference multipliers
+    are applied at execution time from the live GPU state.
+    """
+
+    jid: int
+    requests: list
+    stage_busy: list[float]  # GPU-busy seconds per stage
+    stage_prefill: list[float]  # prefill part of stage_busy (for prefill_done)
+    handoff: list[float]  # comm latency after each stage (len = stages-1)
+    created_at: float
+    exec_start: float | None = None
+    stage_started: list[float] = field(default_factory=list)
+    exec_time: float = 0.0
+    comm_time: float = 0.0
+    # The stage chain this job executes on; pinned at dispatch so in-flight
+    # jobs finish on their original chain across inflight reconfigurations.
+    stages: list = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+
+class StageRuntime:
+    """Executes jobs FIFO on its GPU; downstream hand-off via callback.
+
+    The GPU may be shared with stages of *other* models (MuxServe-style
+    multiplexing, or Eq. 6 consolidation); ``interference`` scales busy time
+    by the live multiplexing penalty (Eq. 9).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        plan: StagePlan,
+        reservation: StageReservation,
+        on_done: Callable[[BatchJob, int], None],
+        interference: Callable[[GPU], float] | None = None,
+    ):
+        self.sim = sim
+        self.index = index
+        self.plan = plan
+        self.reservation = reservation
+        self.on_done = on_done
+        self.interference = interference or (lambda gpu: 1.0)
+        self.queue: deque[BatchJob] = deque()
+        self.busy = False
+        self.inflight = 0  # jobs enqueued or executing here (for retirement)
+        self.retired = False
+        self.jobs_executed = 0
+        self.busy_seconds = 0.0
+        self.stall_seconds = 0.0  # time jobs waited here with work pending
+        self._enqueue_times: dict[int, float] = {}
+
+    @property
+    def gpu(self) -> GPU:
+        return self.reservation.gpu
+
+    @property
+    def idle(self) -> bool:
+        return not self.busy and not self.queue
+
+    def enqueue(self, job: BatchJob) -> None:
+        # Retired stages still serve jobs pinned to their chain before the
+        # reconfiguration; only *new* batches are barred (the replica
+        # dispatches those onto the new chain).
+        self.inflight += 1
+        self._enqueue_times[job.jid] = self.sim.now
+        self.queue.append(job)
+        if not self.busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self.queue:
+            return
+        job = self.queue.popleft()
+        self.busy = True
+        waited = self.sim.now - self._enqueue_times.pop(job.jid)
+        if self.index > 0:
+            self.stall_seconds += waited
+        duration = job.stage_busy[self.index] * self.interference(self.gpu)
+        job.stage_started.append(self.sim.now)
+        if job.exec_start is None:
+            job.exec_start = self.sim.now
+        job.exec_time += duration
+        # Serialise on the GPU: other models' stages may also occupy it.
+        completion = self.gpu.occupy(self.sim.now, duration)
+        self.busy_seconds += duration
+        self.sim.schedule(completion - self.sim.now, self._complete, job)
+
+    def _complete(self, job: BatchJob) -> None:
+        self.busy = False
+        self.inflight -= 1
+        self.jobs_executed += 1
+        self.on_done(job, self.index)
+        if self.queue:
+            self._start_next()

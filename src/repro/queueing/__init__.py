@@ -1,0 +1,46 @@
+"""Analytic queueing models (Eq. 1 and the Insight-3 depth rule).
+
+Besides the paper's extended G/G/S model, the package carries the classic
+results the benches validate against: Kingman's G/G/1 approximation,
+Erlang-B/C for M/M/s replica pools, and pipeline-bubble accounting.
+"""
+
+from repro.queueing.ggs import (
+    GGSModel,
+    optimal_stage_count,
+    pipeline_delay,
+)
+from repro.queueing.kingman import GG1Station, capacity_for_wait, tandem_wait
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_c,
+    mms_mean_queue_length,
+    mms_mean_wait,
+    mms_wait_quantile,
+    servers_for_wait,
+)
+from repro.queueing.bubbles import (
+    StallModel,
+    bubble_fraction,
+    effective_throughput,
+    microbatches_for_bubble,
+)
+
+__all__ = [
+    "GGSModel",
+    "optimal_stage_count",
+    "pipeline_delay",
+    "GG1Station",
+    "capacity_for_wait",
+    "tandem_wait",
+    "erlang_b",
+    "erlang_c",
+    "mms_mean_wait",
+    "mms_mean_queue_length",
+    "mms_wait_quantile",
+    "servers_for_wait",
+    "bubble_fraction",
+    "microbatches_for_bubble",
+    "effective_throughput",
+    "StallModel",
+]

@@ -1,0 +1,30 @@
+"""Inflight pipeline refactoring (§6, Algorithm 1).
+
+Monitoring (ν_t, q̂), the Eq. 4 granularity score and Eq. 5 instance
+counts, the Eq. 6-9 placement objective with the multiplexing penalty, the
+Eq. 10 KV consistency protocol, and the executor that performs live
+split/merge transitions without dropping or pausing requests.
+"""
+
+from repro.refactoring.monitor import WorkloadMonitor
+from repro.refactoring.granularity import (
+    GranularityPolicy,
+    RungEstimate,
+    estimate_latency,
+    estimate_throughput,
+    instance_count,
+)
+from repro.refactoring.placement import make_eq6_scorer, multiplexing_penalty
+from repro.refactoring.executor import RefactoringExecutor
+
+__all__ = [
+    "WorkloadMonitor",
+    "GranularityPolicy",
+    "RungEstimate",
+    "estimate_throughput",
+    "estimate_latency",
+    "instance_count",
+    "make_eq6_scorer",
+    "multiplexing_penalty",
+    "RefactoringExecutor",
+]

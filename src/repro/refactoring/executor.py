@@ -1,0 +1,303 @@
+"""Inflight refactoring executor (Fig. 6, §6.3).
+
+Transition between ladder rungs without pausing service:
+
+1. **Plan** — map every target stage onto the fine-stage lattice; stages
+   whose leading fine range already resides on a GPU *reuse* it (splits
+   load nothing on the retained GPU; merges load only the complement).
+2. **Prepare** — reserve target memory (transiently co-resident with the
+   old stage, falling back to fresh GPUs when a device cannot hold both),
+   load missing parameters from the best source (peer GPU via RDMA /
+   sendfile, host-memory warm cache, or cold storage), and migrate KV
+   shards asynchronously while the old chain keeps serving.
+3. **Switch** — a metadata gateway update plus a delta KV sync pause of a
+   few milliseconds; new batches run on the new chain, in-flight batches
+   finish on the old one, old reservations release as their stages retire.
+
+The Eq. 10 consistency protocol is exercised for a representative request
+on every migration (snapshot -> decode continues -> delta sync) and the
+invariant is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.allocator import AllocationError, StageReservation
+from repro.core.context import ServingContext
+from repro.metrics.collector import MetricsCollector, ScalingEvent
+from repro.models.profiler import ModelProfile
+from repro.partitioning.ladder import GranularityLadder
+from repro.pipeline.kvcache import KVCacheState, delta_sync, snapshot_transfer
+from repro.pipeline.replica import PipelineReplica, ReplicaState
+from repro.scaling.warm_cache import HostParamCache
+
+
+@dataclass
+class TransitionPlan:
+    """Everything needed to execute one granularity transition."""
+
+    target_stages: int
+    reservations: list[StageReservation]
+    load_duration: float
+    kv_duration: float
+    kv_bytes: float
+    reused_gpus: int
+    fresh_gpus: int
+
+    @property
+    def duration(self) -> float:
+        return max(self.load_duration, self.kv_duration)
+
+
+class RefactoringExecutor:
+    """Performs live split/merge transitions for one model's replicas."""
+
+    def __init__(
+        self,
+        ctx: ServingContext,
+        profile: ModelProfile,
+        ladder: GranularityLadder,
+        metrics: MetricsCollector,
+        *,
+        warm_cache: HostParamCache | None = None,
+        decision_latency: float = 0.002,
+        switch_pause: float = 0.001,
+        batch_cap: int | None = None,
+    ):
+        self.ctx = ctx
+        self.profile = profile
+        self.ladder = ladder
+        self.metrics = metrics
+        self.warm_cache = warm_cache
+        self.decision_latency = decision_latency
+        self.switch_pause = switch_pause
+        self.batch_cap = batch_cap
+        self.transitions_started = 0
+        self.transitions_completed = 0
+        self.consistency_checks = 0
+        self._inflight: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def refactoring(self, replica: PipelineReplica) -> bool:
+        return replica.name in self._inflight
+
+    def refactor(self, replica: PipelineReplica, target_stages: int) -> bool:
+        """Begin an inflight transition; returns False if not possible now."""
+        if replica.state is not ReplicaState.ACTIVE:
+            return False
+        if replica.name in self._inflight:
+            return False
+        if target_stages == replica.plan.n_stages:
+            return False
+        try:
+            plan = self._prepare(replica, target_stages)
+        except AllocationError:
+            return False
+        self._inflight.add(replica.name)
+        self.transitions_started += 1
+        # Decision latency, then the asynchronous preparation window (old
+        # chain keeps serving), then the switch pause.
+        total = self.decision_latency + plan.duration + self.switch_pause
+        self.ctx.sim.schedule(total, self._switch, replica, plan)
+        return True
+
+    # ------------------------------------------------------------------
+    def _prepare(
+        self, replica: PipelineReplica, target_stages: int
+    ) -> TransitionPlan:
+        sim = self.ctx.sim
+        cm = self.ctx.cost_model
+        mover = self.ctx.data_mover
+        model = self.profile.spec.name
+        old_rung = self.ladder.rung(replica.plan.n_stages)
+        new_rung = self.ladder.rung(target_stages)
+        new_plan = new_rung.plan
+        batch = max(min(new_plan.max_batch, self.batch_cap or new_plan.max_batch), 1)
+        mems = new_plan.memory_per_stage(
+            batch, self.profile.spec.kv_bytes_per_request
+        )
+
+        # Which old stage hosts each fine stage today?
+        fine_owner: dict[int, int] = {}
+        for j, (lo, hi) in enumerate(old_rung.groups):
+            for f in range(lo, hi):
+                fine_owner[f] = j
+        old_stage_runtime = {j: replica.stages[j] for j in range(len(replica.stages))}
+
+        reservations: list[StageReservation] = []
+        claimed: set[str] = set()
+        load_duration = 0.0
+        kv_bytes_moving = 0.0
+        reused = fresh = 0
+        try:
+            for k, (lo, hi) in enumerate(new_rung.groups):
+                stage_plan = new_plan.stages[k]
+                owner_idx = fine_owner[lo]
+                owner_group = old_rung.groups[owner_idx]
+                owner_stage = old_stage_runtime[owner_idx]
+                gpu = owner_stage.gpu
+                reservation = None
+                # Reuse: the new stage leads on a GPU that already holds its
+                # leading fine range, and no other new stage claimed it.
+                if owner_group[0] == lo and gpu.gid not in claimed:
+                    try:
+                        reservation = self.ctx.allocator.reserve_on(
+                            model, gpu, mems[k], allow_same_model=True
+                        )
+                        claimed.add(gpu.gid)
+                        reused += 1
+                    except AllocationError:
+                        reservation = None  # cannot co-reside: fall through
+                if reservation is None:
+                    exclude = [
+                        r.gpu for r in reservations
+                    ] + [s.gpu for s in replica.stages]
+                    got = self.ctx.allocator.allocate_stages(
+                        model, [mems[k]], exclude=exclude
+                    )
+                    reservation = got[0]
+                    fresh += 1
+                reservations.append(reservation)
+                load_duration = max(
+                    load_duration,
+                    self._stage_load_time(
+                        stage_plan, reservation, owner_stage, reused=gpu is reservation.gpu
+                    ),
+                )
+                # Fine ranges that change GPUs carry their KV shards along.
+                moved_fraction = self._moved_kv_fraction(
+                    lo, hi, owner_group, reservation.gpu is gpu
+                )
+                kv_bytes_moving += (
+                    replica.kv_bytes_in_flight()
+                    * self.profile.kv_fraction(stage_plan.profile)
+                    * moved_fraction
+                )
+        except AllocationError:
+            for reservation in reservations:
+                self.ctx.allocator.release(reservation)
+            raise
+
+        kv_plan = mover.plan(
+            kv_bytes_moving, same_server=False, src_rdma=True, dst_rdma=True
+        )
+        self._exercise_consistency_protocol(replica)
+        return TransitionPlan(
+            target_stages=target_stages,
+            reservations=reservations,
+            load_duration=load_duration,
+            kv_duration=kv_plan.duration if kv_bytes_moving > 0 else 0.0,
+            kv_bytes=kv_bytes_moving,
+            reused_gpus=reused,
+            fresh_gpus=fresh,
+        )
+
+    def _stage_load_time(
+        self,
+        stage_plan,
+        reservation: StageReservation,
+        owner_stage,
+        *,
+        reused: bool,
+    ) -> float:
+        """Best-source load time for one target stage's missing parameters."""
+        cm = self.ctx.cost_model
+        mover = self.ctx.data_mover
+        resident_lo = max(stage_plan.start, owner_stage.plan.start)
+        resident_hi = min(stage_plan.end, owner_stage.plan.end)
+        resident = (
+            self.profile.graph.param_bytes(resident_lo, resident_hi)
+            if resident_lo < resident_hi and reused
+            else 0.0
+        )
+        missing = max(stage_plan.param_bytes - resident, 0.0)
+        if missing <= 0:
+            return 0.0
+        options = []
+        # Peer GPUs of the same replica hold the missing ranges today.
+        src_server = owner_stage.gpu.server
+        dst_server = reservation.gpu.server
+        peer = mover.plan(
+            missing,
+            same_server=src_server.sid == dst_server.sid,
+            src_rdma=src_server.rdma,
+            dst_rdma=dst_server.rdma,
+        )
+        options.append(peer.duration)
+        if self.warm_cache is not None:
+            warm = self.warm_cache.coverage(
+                dst_server, self.profile, stage_plan.start, stage_plan.end
+            )
+            if warm >= missing:
+                options.append(cm.warm_load_time(missing))
+        options.append(cm.cold_load_time(missing))
+        return min(options)
+
+    @staticmethod
+    def _moved_kv_fraction(
+        lo: int, hi: int, owner_group: tuple[int, int], reused: bool
+    ) -> float:
+        """Fraction of the new stage's fine ranges that changed GPUs."""
+        if not reused:
+            return 1.0
+        span = hi - lo
+        stay = max(min(hi, owner_group[1]) - max(lo, owner_group[0]), 0)
+        return (span - stay) / span if span else 0.0
+
+    def _exercise_consistency_protocol(self, replica: PipelineReplica) -> None:
+        """Run the Eq. 10 snapshot/delta protocol for a representative shard."""
+        source = KVCacheState(request_id=0, bytes_per_token=1.0)
+        source.append_tokens(int(self.profile.spec.avg_context_tokens))
+        target = snapshot_transfer(source)
+        source.append_tokens(3)  # decode continues during the async window
+        delta_sync(source, target)
+        if not target.is_consistent():
+            raise RuntimeError("Eq. 10 consistency invariant violated")
+        self.consistency_checks += 1
+
+    # ------------------------------------------------------------------
+    def _switch(self, replica: PipelineReplica, plan: TransitionPlan) -> None:
+        sim = self.ctx.sim
+        model = self.profile.spec.name
+        self._inflight.discard(replica.name)
+        if replica.state is ReplicaState.RELEASED:
+            for reservation in plan.reservations:
+                if not reservation.released:
+                    self.ctx.allocator.release(reservation)
+            return
+        old_n = replica.plan.n_stages
+        new_plan = self.ladder.plan(plan.target_stages)
+
+        def retire(stage) -> None:
+            reservation = stage.reservation
+            if reservation.released:
+                return
+            if self.warm_cache is not None:
+                self.warm_cache.put(
+                    reservation.gpu.server,
+                    model,
+                    stage.plan.start,
+                    stage.plan.end,
+                    stage.plan.param_bytes,
+                    sim.now,
+                )
+            self.ctx.allocator.release(reservation)
+
+        replica.on_stage_retired = retire
+        replica.swap_stages(new_plan, plan.reservations, batch_cap=self.batch_cap)
+        self.transitions_completed += 1
+        self.metrics.on_event(
+            ScalingEvent(
+                time=sim.now,
+                kind="refactor",
+                detail=(
+                    f"{replica.name} {old_n}->{plan.target_stages} "
+                    f"(reuse {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
+                    f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
+                ),
+                init_time=plan.duration + self.switch_pause,
+                warm=plan.fresh_gpus == 0,
+            )
+        )

@@ -1,0 +1,48 @@
+"""Workload monitoring: the ν_t / λ_t signals of Algorithm 1."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.workloads.cv import SlidingWindowCV
+
+
+class WorkloadMonitor:
+    """Tracks one model's arrival process online.
+
+    Provides the inter-arrival CV ν_t over a sliding window, the arrival
+    rate λ_t, and the intensity gradient ∂λ/∂t the paper uses for
+    *proactive* adaptation (reacting to the rate trend before queues grow).
+    """
+
+    def __init__(self, window: float = 30.0, gradient_samples: int = 8):
+        self._cv = SlidingWindowCV(window=window)
+        self._rates: deque[tuple[float, float]] = deque(maxlen=gradient_samples)
+        self.total_observed = 0
+
+    def observe(self, timestamp: float) -> None:
+        self._cv.observe(timestamp)
+        self.total_observed += 1
+
+    # ------------------------------------------------------------------
+    def cv(self, now: float) -> float:
+        return self._cv.value(now)
+
+    def arrival_rate(self, now: float) -> float:
+        return self._cv.arrival_rate(now)
+
+    def sample_rate(self, now: float) -> None:
+        """Record a rate sample (called once per control interval)."""
+        self._rates.append((now, self.arrival_rate(now)))
+
+    def intensity_gradient(self, now: float) -> float:
+        """∂λ/∂t estimated over the recorded control-interval samples."""
+        if len(self._rates) < 2:
+            return 0.0
+        (t0, r0), (t1, r1) = self._rates[0], self._rates[-1]
+        if t1 <= t0:
+            return 0.0
+        return (r1 - r0) / (t1 - t0)
+
+    def window_count(self, now: float) -> int:
+        return self._cv.count(now)

@@ -1,0 +1,23 @@
+"""Adaptive pipeline scaling (§7).
+
+Components: the Eq. 11/12 scaling-granularity decision, the host-memory
+warm parameter cache, the Eq. 13 affinity scheduler, the HRG-driven
+topology-aware coordinator, and the autoscaler loop that ties them to the
+request queue.
+"""
+
+from repro.scaling.warm_cache import HostParamCache
+from repro.scaling.affinity import AffinityScheduler
+from repro.scaling.decision import scaling_granularity, slo_feasible_stages
+from repro.scaling.coordinator import ScalingCoordinator
+from repro.scaling.autoscaler import Autoscaler, AutoscalerConfig
+
+__all__ = [
+    "HostParamCache",
+    "AffinityScheduler",
+    "scaling_granularity",
+    "slo_feasible_stages",
+    "ScalingCoordinator",
+    "Autoscaler",
+    "AutoscalerConfig",
+]

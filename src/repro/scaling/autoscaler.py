@@ -1,0 +1,178 @@
+"""Queue- and rate-driven replica autoscaling for one model.
+
+FlexPipe wires this with the Eq. 11 granularity decision (fine-grained
+scale-out units during bursts) and Eq. 5 coordination-aware capacity;
+reactive baselines use it with a fixed granularity; static baselines do
+not create one at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.allocator import AllocationError
+from repro.metrics.collector import MetricsCollector, ScalingEvent
+from repro.models.profiler import ModelProfile
+from repro.partitioning.plan import PartitionPlan
+from repro.pipeline.replica import PipelineReplica, ReplicaState
+from repro.pipeline.router import ModelRouter
+from repro.refactoring.granularity import estimate_throughput, instance_count
+from repro.refactoring.monitor import WorkloadMonitor
+from repro.simulation.engine import Simulator
+from repro.simulation.processes import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    interval: float = 0.5
+    slo_deadline: float = 5.0
+    queue_factor: float = 1.5  # queue > factor x capacity-per-interval => burst
+    idle_window: float = 30.0  # reclamation window before scale-in
+    min_replicas: int = 1
+    max_replicas: int = 8
+    target_utilization: float = 0.6
+    scale_out_cooldown: float = 1.0
+    beta1: float = 1.0  # Eq. 5 coordination overhead
+    beta2: float = 0.02
+    prompt_tokens: int = 512
+    output_tokens: int = 16
+    batch_cap: int | None = None  # operating batch for capacity estimates
+    # Eq. 12's burst-feasibility headroom: effective target utilization is
+    # divided by (1 + cv_headroom * CV), so bursty workloads hold spare
+    # capacity proportional to their variability.  0 disables (baselines
+    # without FlexPipe's burst-aware provisioning).
+    cv_headroom: float = 0.0
+
+
+class Autoscaler:
+    """Reconciles a model's replica count with its live workload."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: ModelRouter,
+        monitor: WorkloadMonitor,
+        profile: ModelProfile,
+        metrics: MetricsCollector,
+        deploy: Callable[..., PipelineReplica],
+        release: Callable[[PipelineReplica], None],
+        plan_for: Callable[[float, int], PartitionPlan],
+        config: AutoscalerConfig | None = None,
+    ):
+        self.sim = sim
+        self.router = router
+        self.monitor = monitor
+        self.profile = profile
+        self.metrics = metrics
+        self.deploy = deploy
+        self.release_replica = release
+        self.plan_for = plan_for
+        self.config = config or AutoscalerConfig()
+        self.loading: list[PipelineReplica] = []
+        self._blocked_since: float | None = None
+        self._low_since: float | None = None
+        self._last_scale_out = -math.inf
+        self._throughput_cache: dict[tuple, float] = {}
+        self._process = PeriodicProcess(sim, self.config.interval, self.tick)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    def replica_throughput(self, plan: PartitionPlan) -> float:
+        key = (plan.n_stages, plan.max_batch)
+        value = self._throughput_cache.get(key)
+        if value is None:
+            cfg = self.config
+            value = estimate_throughput(
+                self.profile,
+                plan,
+                batch=min(plan.max_batch, cfg.batch_cap or plan.max_batch),
+                prompt_tokens=cfg.prompt_tokens,
+                output_tokens=cfg.output_tokens,
+            )
+            self._throughput_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        now = self.sim.now
+        cfg = self.config
+        self.monitor.sample_rate(now)
+        self.loading = [
+            r for r in self.loading if r.state is ReplicaState.LOADING
+        ]
+        active = self.router.active_replicas
+        queue = self.router.total_queue
+        cv = self.monitor.cv(now)
+        rate = self.monitor.arrival_rate(now)
+        plan = self.plan_for(cv, queue)
+        per_replica = self.replica_throughput(plan)
+
+        # Eq. 5: coordination-aware instance count for the offered rate,
+        # with Eq. 12's burst headroom lowering the utilization target as
+        # the live CV rises.
+        effective_util = cfg.target_utilization / (1.0 + cfg.cv_headroom * cv)
+        desired = instance_count(
+            rate / max(effective_util, 1e-6),
+            per_replica,
+            plan.n_stages,
+            beta1=cfg.beta1,
+            beta2=cfg.beta2,
+        )
+        # Burst pressure: queued work the current capacity cannot clear in
+        # one SLO budget demands more instances now (Eq. 12 spirit).
+        capacity_now = sum(self.replica_throughput(r.plan) for r in active)
+        if queue > cfg.queue_factor * max(capacity_now * cfg.interval, 1.0):
+            backlog_units = math.ceil(
+                queue / max(per_replica * cfg.slo_deadline * 0.5, 1.0)
+            )
+            desired = max(desired, len(active) + backlog_units)
+        desired = min(max(desired, cfg.min_replicas), cfg.max_replicas)
+
+        total = len(active) + len(self.loading)
+        if desired > total:
+            self._scale_out(desired - total, plan, now)
+        elif desired < len(active) and queue == 0:
+            self._maybe_scale_in(active, desired, now)
+        else:
+            self._low_since = None
+
+    # ------------------------------------------------------------------
+    def _scale_out(self, n: int, plan: PartitionPlan, now: float) -> None:
+        if now - self._last_scale_out < self.config.scale_out_cooldown:
+            return
+        wait = now - self._blocked_since if self._blocked_since is not None else 0.0
+        for _ in range(n):
+            try:
+                replica = self.deploy(self.profile, plan, wait_time=wait)
+            except AllocationError:
+                if self._blocked_since is None:
+                    self._blocked_since = now
+                self.metrics.on_event(
+                    ScalingEvent(time=now, kind="alloc_blocked", detail=plan.model_name)
+                )
+                return
+            self.loading.append(replica)
+        self._blocked_since = None
+        self._last_scale_out = now
+
+    def _maybe_scale_in(
+        self, active: list[PipelineReplica], desired: int, now: float
+    ) -> None:
+        if self._low_since is None:
+            self._low_since = now
+            return
+        if now - self._low_since < self.config.idle_window:
+            return
+        # Reclaim the most recently activated replicas first: older ones
+        # carry the longest-lived warm state.
+        excess = len(active) - desired
+        victims = sorted(
+            active, key=lambda r: r.activated_at or 0.0, reverse=True
+        )[:excess]
+        for victim in victims:
+            self.release_replica(victim)
+        self._low_since = None

@@ -1,0 +1,94 @@
+"""Host-memory parameter cache (§7, Memory-Aware Elastic Scaling).
+
+"The system maintains parameter copies in host memory even after GPU
+eviction, creating a middle-tier cache that survives instance termination."
+Entries are keyed by (model, operator-range); coverage queries intersect a
+requested stage's operator range with cached ranges so a merged stage can
+warm-load from the pieces its fine-grained predecessors left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.server import Server
+from repro.models.profiler import ModelProfile
+
+
+@dataclass
+class CacheEntry:
+    model: str
+    start: int  # operator range [start, end)
+    end: int
+    nbytes: float
+    last_used: float
+
+
+class HostParamCache:
+    """LRU parameter cache over every server's host memory."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, list[CacheEntry]] = {}
+        self.hits = 0.0  # bytes served warm
+        self.misses = 0.0  # bytes that had to come from storage
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        server: Server,
+        model: str,
+        start: int,
+        end: int,
+        nbytes: float,
+        now: float,
+    ) -> bool:
+        """Cache a stage's parameters on ``server``; LRU-evicts to fit.
+
+        Returns False when the entry cannot fit even after evicting
+        everything (never evicts more than needed).
+        """
+        if nbytes <= 0:
+            return True
+        entries = self._entries.setdefault(server.sid, [])
+        for entry in entries:
+            if entry.model == model and entry.start <= start and entry.end >= end:
+                entry.last_used = now  # already covered
+                return True
+        if nbytes > server.host_memory:
+            return False
+        while not server.host_reserve(nbytes):
+            if not entries:
+                return False
+            victim = min(entries, key=lambda e: e.last_used)
+            entries.remove(victim)
+            server.host_release(victim.nbytes)
+        entries.append(CacheEntry(model, start, end, nbytes, now))
+        return True
+
+    def coverage(
+        self,
+        server: Server,
+        profile: ModelProfile,
+        start: int,
+        end: int,
+        now: float | None = None,
+    ) -> float:
+        """Bytes of the stage [start, end) available warm on ``server``."""
+        entries = self._entries.get(server.sid, ())
+        covered = 0.0
+        for entry in entries:
+            if entry.model != profile.spec.name:
+                continue
+            lo, hi = max(start, entry.start), min(end, entry.end)
+            if lo < hi:
+                covered += profile.graph.param_bytes(lo, hi)
+                if now is not None:
+                    entry.last_used = now
+        stage_bytes = profile.graph.param_bytes(start, end)
+        return min(covered, stage_bytes)
+
+    def server_bytes(self, server: Server) -> float:
+        return sum(e.nbytes for e in self._entries.get(server.sid, ()))
+
+    def entry_count(self, server: Server) -> int:
+        return len(self._entries.get(server.sid, ()))

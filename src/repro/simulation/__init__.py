@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+Every hardware-dependent component of the paper (GPU kernels, network
+transfers, parameter loads, cluster churn) runs on top of this engine, so the
+control-plane algorithms execute exactly as they would against a real
+cluster, just with simulated time.
+"""
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.processes import PeriodicProcess
+from repro.simulation.randomness import RandomStreams
+
+__all__ = ["Event", "Simulator", "PeriodicProcess", "RandomStreams"]

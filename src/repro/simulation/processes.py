@@ -1,0 +1,51 @@
+"""Periodic and delayed process helpers on top of the event engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simulation.engine import Event, Simulator
+
+
+class PeriodicProcess:
+    """Fires ``callback()`` every ``interval`` simulated seconds.
+
+    Used for control loops (the FlexPipe optimisation interval, queue
+    sampling, fragmentation churn ticks).  The first firing happens at
+    ``start_delay`` (default: one interval from now).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        start_delay: float | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._event: Event | None = None
+        self._stopped = False
+        delay = interval if start_delay is None else start_delay
+        self._event = sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._event = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop the process; pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped

@@ -1,0 +1,143 @@
+"""Counted resources and object stores for the event engine.
+
+The core engine (:mod:`repro.simulation.engine`) is callback-based; these
+primitives add the two coordination patterns the scaling and transfer
+subsystems need without introducing coroutines:
+
+* :class:`Resource` — a counted semaphore with FIFO waiters.  The HRG
+  coordinator uses one per contended resource level (PCIe lanes per
+  server, uplink slots per rack, storage channels per cluster) to
+  serialise concurrent scale-up operations (§7).
+* :class:`Store` — a FIFO buffer of items with blocking gets, used to
+  model staging queues (e.g. parameter shards waiting for a loader slot).
+
+Both hand out grants via callbacks scheduled *through the simulator*, so
+acquisition order is deterministic and visible in the event trace.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable
+
+from repro.simulation.engine import Simulator
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    ``acquire(n, callback)`` fires ``callback()`` once ``n`` units are
+    granted; the grant happens immediately (same timestamp, via a
+    zero-delay event) when capacity is available, otherwise when enough
+    ``release`` calls arrive.  Waiters are served strictly FIFO — a large
+    request at the head blocks smaller ones behind it, which is exactly
+    the head-of-line behaviour uncoordinated scaling exhibits and the HRG
+    is designed to avoid.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: collections.deque[tuple[int, Callable[[], None]]] = (
+            collections.deque()
+        )
+        self.grants = 0
+        self.total_wait_time = 0.0
+        self._wait_started: dict[int, float] = {}
+        self._waiter_seq = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, units: int, callback: Callable[[], None]) -> None:
+        """Request ``units``; ``callback`` fires when they are granted."""
+        if units < 1 or units > self.capacity:
+            raise ValueError(
+                f"{self.name}: cannot acquire {units} of {self.capacity} units"
+            )
+        seq = self._waiter_seq
+        self._waiter_seq += 1
+        self._wait_started[seq] = self.sim.now
+        self._waiters.append((units, self._granted(seq, callback)))
+        self._pump()
+
+    def _granted(self, seq: int, callback: Callable[[], None]) -> Callable[[], None]:
+        def fire() -> None:
+            self.total_wait_time += self.sim.now - self._wait_started.pop(seq)
+            self.grants += 1
+            callback()
+
+        return fire
+
+    def release(self, units: int) -> None:
+        """Return ``units`` to the pool, waking FIFO waiters."""
+        if units < 0 or units > self.in_use:
+            raise ValueError(
+                f"{self.name}: release({units}) with {self.in_use} in use"
+            )
+        self.in_use -= units
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._waiters:
+            units, fire = self._waiters[0]
+            if units > self.available:
+                return
+            self._waiters.popleft()
+            self.in_use += units
+            self.sim.schedule(0.0, fire)
+
+    def mean_wait(self) -> float:
+        """Average time grants spent queued (0 if nothing granted yet)."""
+        if self.grants == 0:
+            return 0.0
+        return self.total_wait_time / self.grants
+
+
+class Store:
+    """A FIFO buffer of items with blocking gets.
+
+    ``put`` never blocks (capacity is enforced by the producer if needed);
+    ``get`` fires its callback with the item as soon as one is available,
+    preserving FIFO order among both items and getters.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: collections.deque[Any] = collections.deque()
+        self._getters: collections.deque[Callable[[Any], None]] = collections.deque()
+        self.puts = 0
+        self.gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        self._items.append(item)
+        self._pump()
+
+    def get(self, callback: Callable[[Any], None]) -> None:
+        self._getters.append(callback)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._items and self._getters:
+            item = self._items.popleft()
+            callback = self._getters.popleft()
+            self.gets += 1
+            self.sim.schedule(0.0, callback, item)

@@ -1,0 +1,20 @@
+"""Interconnect and data-movement models.
+
+Implements the paper's §8 transfer hierarchy: RDMA preferred for KV-cache
+migration, sendfile fallback on hosts without RDMA, and the NCCL
+connection-setup overhead that FlexPipe avoids.  Links are fair-share
+(processor-sharing) resources so concurrent scaling operations genuinely
+contend — the effect the Hierarchical Resource Graph coordinates around.
+"""
+
+from repro.transfer.links import FairShareLink, LinkSpec, TransferHandle
+from repro.transfer.datamover import DataMover, TransferMethod, TransferPlan
+
+__all__ = [
+    "FairShareLink",
+    "LinkSpec",
+    "TransferHandle",
+    "DataMover",
+    "TransferMethod",
+    "TransferPlan",
+]

@@ -1,0 +1,60 @@
+"""Workload generation: arrivals with controlled CV, traces, prompts, SLOs.
+
+Every evaluation figure in the paper is parameterised by the coefficient of
+variation (CV) of request inter-arrival times.  ``GammaArrivals`` provides
+exact CV control; ``DiurnalTrace`` reproduces the Fig. 1 phenomenon (CV
+measured over different window sizes differs by ~7x on production traces).
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    GammaArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.requests import Request, RequestSampler
+from repro.workloads.cv import (
+    count_cv,
+    interarrival_cv,
+    SlidingWindowCV,
+)
+from repro.workloads.traces import DiurnalTrace
+from repro.workloads.slo import SLO
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.azure import (
+    FunctionTrace,
+    TraceBundle,
+    TraceReplayArrivals,
+    synthesize_azure_like,
+)
+from repro.workloads.splitwise import (
+    CODING,
+    CONVERSATION,
+    MixedCorpusSampler,
+    SplitwiseScenario,
+    get_scenario,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "GammaArrivals",
+    "MMPPArrivals",
+    "Request",
+    "RequestSampler",
+    "interarrival_cv",
+    "count_cv",
+    "SlidingWindowCV",
+    "DiurnalTrace",
+    "SLO",
+    "WorkloadGenerator",
+    "FunctionTrace",
+    "TraceBundle",
+    "TraceReplayArrivals",
+    "synthesize_azure_like",
+    "SplitwiseScenario",
+    "CONVERSATION",
+    "CODING",
+    "MixedCorpusSampler",
+    "get_scenario",
+]

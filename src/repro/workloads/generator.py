@@ -1,0 +1,54 @@
+"""Drives arrivals into a serving system inside the simulator."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulation.engine import Simulator
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.requests import Request, RequestSampler
+
+
+class WorkloadGenerator:
+    """Schedules sampled requests into a sink for ``duration`` seconds.
+
+    The sink is any callable accepting a :class:`Request` — normally a
+    serving system's ``submit`` method.  All generated requests are kept in
+    ``self.requests`` for post-hoc metric computation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arrivals: ArrivalProcess,
+        sampler: RequestSampler,
+        sink: Callable[[Request], None],
+        duration: float,
+    ):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.sim = sim
+        self.arrivals = arrivals
+        self.sampler = sampler
+        self.sink = sink
+        self.duration = duration
+        self.requests: list[Request] = []
+        self._start = sim.now
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.arrivals.next_interarrival()
+        arrival = self.sim.now + gap
+        if arrival - self._start >= self.duration:
+            return
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        request = self.sampler.sample(self.sim.now)
+        self.requests.append(request)
+        self.sink(request)
+        self._schedule_next()
+
+    @property
+    def offered(self) -> int:
+        return len(self.requests)

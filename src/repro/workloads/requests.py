@@ -1,0 +1,102 @@
+"""Inference requests and the Splitwise-like length sampler."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Request:
+    """One inference request plus its measured lifecycle.
+
+    Timing fields are filled in by the pipeline runtime; ``None`` means the
+    phase has not happened (yet).
+    """
+
+    rid: int
+    model: str
+    arrival_time: float
+    prompt_tokens: int
+    output_tokens: int
+    slo_latency: float
+    # --- lifecycle, filled during simulation ---
+    batch_time: float | None = None  # admitted into a batch
+    exec_start: float | None = None  # first stage began computing
+    prefill_done: float | None = None
+    completion_time: float | None = None
+    queue_time: float = 0.0
+    exec_time: float = 0.0
+    comm_time: float = 0.0
+    rejected: bool = False
+
+    @property
+    def latency(self) -> float | None:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def prefill_latency(self) -> float | None:
+        if self.prefill_done is None:
+            return None
+        return self.prefill_done - self.arrival_time
+
+    @property
+    def slo_met(self) -> bool:
+        latency = self.latency
+        return latency is not None and latency <= self.slo_latency
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """Log-normal token-length distribution clipped to [lo, hi]."""
+
+    median: float
+    sigma: float
+    lo: int
+    hi: int
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = rng.lognormal(np.log(self.median), self.sigma)
+        return int(np.clip(round(value), self.lo, self.hi))
+
+
+class RequestSampler:
+    """Draws request shapes (prompt/output lengths) for a model.
+
+    Defaults follow the Splitwise corpus shape: prompts in the hundreds of
+    tokens with a heavy tail, short-to-moderate outputs.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        rng: np.random.Generator,
+        *,
+        prompt: LengthDistribution | None = None,
+        output: LengthDistribution | None = None,
+        slo_latency: float = 5.0,
+    ):
+        self.model = model
+        self.rng = rng
+        self.prompt = prompt or LengthDistribution(median=512, sigma=0.6, lo=16, hi=4096)
+        self.output = output or LengthDistribution(median=16, sigma=0.7, lo=1, hi=256)
+        self.slo_latency = slo_latency
+        self._ids = itertools.count()
+
+    def sample(self, arrival_time: float) -> Request:
+        return Request(
+            rid=next(self._ids),
+            model=self.model,
+            arrival_time=arrival_time,
+            prompt_tokens=self.prompt.sample(self.rng),
+            output_tokens=self.output.sample(self.rng),
+            slo_latency=self.slo_latency,
+        )

@@ -1,0 +1,20 @@
+"""Service-level objectives used for goodput accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency target defining goodput: responses slower than
+    ``latency_target`` count as throughput but not goodput."""
+
+    latency_target: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.latency_target <= 0:
+            raise ValueError(f"latency target must be positive, got {self.latency_target}")
+
+    def met(self, latency: float | None) -> bool:
+        return latency is not None and latency <= self.latency_target

@@ -1,0 +1,103 @@
+"""Tests for the dynamic batcher's accumulation-window policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.batching import BatcherConfig, DynamicBatcher
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.requests import RequestSampler
+
+
+@pytest.fixture
+def sampler():
+    return RequestSampler("m", RandomStreams(0).stream("r"))
+
+
+def make_batcher(sim, max_batch=8, max_wait=0.1, dispatchable=True):
+    batches = []
+    state = {"ok": dispatchable}
+    batcher = DynamicBatcher(
+        sim,
+        BatcherConfig(max_batch=max_batch, max_wait=max_wait),
+        can_dispatch=lambda: state["ok"],
+        dispatch=batches.append,
+    )
+    return batcher, batches, state
+
+
+class TestDynamicBatcher:
+    def test_waits_for_window_before_dispatch(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_wait=0.1)
+        batcher.enqueue(sampler.sample(0.0))
+        sim.run(until=0.05)
+        assert batches == []  # window not elapsed
+        sim.run(until=0.2)
+        assert len(batches) == 1
+
+    def test_full_batch_dispatches_immediately(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_batch=4, max_wait=10.0)
+        for _ in range(4):
+            batcher.enqueue(sampler.sample(0.0))
+        assert len(batches) == 1
+        assert len(batches[0]) == 4
+
+    def test_accumulates_within_window(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_batch=16, max_wait=0.1)
+        for i in range(5):
+            sim.schedule(i * 0.01, lambda: batcher.enqueue(sampler.sample(sim.now)))
+        sim.run(until=0.5)
+        assert len(batches) == 1
+        assert len(batches[0]) == 5
+
+    def test_respects_max_batch_on_overflow(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_batch=3, max_wait=0.1)
+        for _ in range(7):
+            batcher.enqueue(sampler.sample(0.0))
+        sim.run(until=1.0)
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_blocked_entry_stage_defers_dispatch(self, sim, sampler):
+        batcher, batches, state = make_batcher(sim, max_wait=0.05, dispatchable=False)
+        batcher.enqueue(sampler.sample(0.0))
+        sim.run(until=0.2)
+        assert batches == []
+        state["ok"] = True
+        batcher.pump()
+        assert len(batches) == 1
+
+    def test_pump_holds_until_window_ripe(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_wait=0.5)
+        batcher.enqueue(sampler.sample(0.0))
+        batcher.pump()  # window not elapsed, queue below max
+        assert batches == []
+
+    def test_flush_drains_without_dispatch(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim)
+        batcher.enqueue(sampler.sample(0.0))
+        drained = batcher.flush()
+        sim.run(until=1.0)
+        assert len(drained) == 1
+        assert batches == []
+        assert len(batcher) == 0
+
+    def test_mean_batch_size_statistic(self, sim, sampler):
+        batcher, _, _ = make_batcher(sim, max_batch=4, max_wait=0.01)
+        assert batcher.mean_batch_size == 0.0
+        for _ in range(8):
+            batcher.enqueue(sampler.sample(0.0))
+        sim.run(until=1.0)
+        assert batcher.mean_batch_size == pytest.approx(4.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatcherConfig(max_wait=-1.0)
+
+    def test_timer_rearms_for_followup_batches(self, sim, sampler):
+        batcher, batches, _ = make_batcher(sim, max_batch=100, max_wait=0.1)
+        batcher.enqueue(sampler.sample(0.0))
+        sim.schedule(0.3, lambda: batcher.enqueue(sampler.sample(sim.now)))
+        sim.run(until=1.0)
+        assert len(batches) == 2

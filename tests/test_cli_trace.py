@@ -1,0 +1,66 @@
+"""Tests for the ``repro trace`` CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.azure import TraceBundle
+
+
+class TestTraceParser:
+    def test_synth_args(self):
+        args = build_parser().parse_args(
+            ["trace", "synth", "out.csv", "--apps", "5", "--rate", "3.5"]
+        )
+        assert args.trace_command == "synth"
+        assert args.output == "out.csv"
+        assert args.apps == 5
+        assert args.rate == 3.5
+
+    def test_stats_args(self):
+        args = build_parser().parse_args(["trace", "stats", "in.csv"])
+        assert args.trace_command == "stats"
+        assert args.trace_file == "in.csv"
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestTraceCommands:
+    def test_synth_writes_readable_bundle(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        code = main(
+            ["trace", "synth", str(out), "--apps", "4", "--days", "0.5"]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        bundle = TraceBundle.read_csv(out)
+        assert len(bundle.app_ids()) == 4
+        assert bundle.duration == pytest.approx(0.5 * 86_400.0)
+
+    def test_synth_respects_rate(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        main(["trace", "synth", str(out), "--apps", "6", "--days", "1", "--rate", "8"])
+        bundle = TraceBundle.read_csv(out)
+        assert bundle.total_trace().mean_rate == pytest.approx(8.0, rel=0.35)
+
+    def test_stats_reports_fig1_windows(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        main(["trace", "synth", str(out), "--apps", "4", "--days", "2"])
+        capsys.readouterr()
+        code = main(["trace", "stats", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "180s=" in text
+        assert "12h=" in text
+        assert "top app" in text
+
+    def test_seed_changes_output(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["--seed", "1", "trace", "synth", str(a), "--apps", "3", "--days", "0.25"])
+        main(["--seed", "2", "trace", "synth", str(b), "--apps", "3", "--days", "0.25"])
+        ta = TraceBundle.read_csv(a).total_trace().counts
+        tb = TraceBundle.read_csv(b).total_trace().counts
+        assert ta.tolist() != tb.tolist()

@@ -1,0 +1,79 @@
+"""Tests for the experiment harness and system factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_environment,
+    make_arrival_process,
+)
+from repro.experiments.systems import make_system
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.arrivals import GammaArrivals, MMPPArrivals, PoissonArrivals
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_baseline(self):
+        cfg = ExperimentConfig()
+        assert cfg.qps == 20.0  # §9.1: "baseline of 20 QPS"
+        assert cfg.model == "OPT-66B"
+
+    def test_specs_include_background_model(self):
+        cfg = ExperimentConfig(background_model="BERT-21B")
+        assert [s.name for s in cfg.specs] == ["OPT-66B", "BERT-21B"]
+        assert len(ExperimentConfig().specs) == 1
+
+    def test_unknown_cluster_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_environment(ExperimentConfig(cluster="exotic"))
+
+    def test_build_environment_warms_fragmentation(self):
+        sim, cluster, streams, frag = build_environment(ExperimentConfig())
+        assert frag is not None
+        assert cluster.subscription_rate() > 1.0
+        frag.stop()
+
+    def test_fragmentation_can_be_disabled(self):
+        _, cluster, _, frag = build_environment(
+            ExperimentConfig(fragmentation=False)
+        )
+        assert frag is None
+        assert cluster.subscription_rate() == 0.0
+
+
+class TestArrivalRouting:
+    def test_cv_one_is_poisson(self):
+        cfg = ExperimentConfig(cv=1.0)
+        proc = make_arrival_process(cfg, RandomStreams(0))
+        assert isinstance(proc, PoissonArrivals)
+
+    def test_high_cv_uses_mmpp_bursts_by_default(self):
+        cfg = ExperimentConfig(cv=4.0)
+        proc = make_arrival_process(cfg, RandomStreams(0))
+        assert isinstance(proc, MMPPArrivals)
+        assert proc.cv == pytest.approx(4.0, rel=0.05)
+
+    def test_gamma_when_mmpp_disabled(self):
+        cfg = ExperimentConfig(cv=4.0, use_mmpp=False)
+        proc = make_arrival_process(cfg, RandomStreams(0))
+        assert isinstance(proc, GammaArrivals)
+
+    def test_sub_poisson_cv_uses_gamma(self):
+        cfg = ExperimentConfig(cv=0.1)
+        proc = make_arrival_process(cfg, RandomStreams(0))
+        assert isinstance(proc, GammaArrivals)
+
+
+class TestFactories:
+    def test_unknown_system_raises_with_options(self, ctx):
+        with pytest.raises(KeyError, match="available"):
+            make_system("vLLM", ctx, ExperimentConfig())
+
+    def test_make_system_builds_each(self, ctx):
+        cfg = ExperimentConfig(cluster="small", fragmentation=False, qps=5.0)
+        for name in ("FlexPipe", "AlpaServe", "MuxServe", "ServerlessLLM", "Tetris"):
+            system = make_system(name, ctx, cfg)
+            assert system.name == name
+            system.shutdown()

@@ -1,0 +1,178 @@
+"""Tests for serverless reclamation / failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import make_small_cluster
+from repro.cluster.failures import (
+    FailureInjector,
+    ReclamationEvent,
+    ReclamationPolicy,
+    RecoveryTracker,
+    VictimChoice,
+)
+from repro.core.context import ServingContext
+from repro.core.flexpipe import FlexPipeSystem
+from repro.models.zoo import LLAMA2_7B
+from repro.simulation.engine import Simulator
+from repro.simulation.processes import PeriodicProcess
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.requests import RequestSampler
+
+
+@pytest.fixture
+def live_system():
+    """A small FlexPipe deployment, settled and ready to serve."""
+    sim = Simulator()
+    streams = RandomStreams(seed=7)
+    cluster = make_small_cluster(sim, n_servers=8, gpus_per_server=2)
+    ctx = ServingContext.create(sim, cluster, streams)
+    system = FlexPipeSystem(ctx, [LLAMA2_7B], initial_replicas=2)
+    system.start()
+    sim.run(until=150.0)  # initial loads complete
+    return sim, cluster, streams, system
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        policy = ReclamationPolicy()
+        assert policy.choice is VictimChoice.SERVING_BIASED
+
+    def test_bad_mtbf_rejected(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            ReclamationPolicy(mtbf=0.0)
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ValueError, match="downtime"):
+            ReclamationPolicy(downtime_mean=-1.0)
+
+
+class TestEvent:
+    def test_recovery_time_none_until_recovered(self):
+        event = ReclamationEvent(time=10.0, gpu_id="g", downtime=5.0, replicas_hit=1)
+        assert event.recovery_time is None
+        event.recovered_at = 25.0
+        assert event.recovery_time == 15.0
+
+
+class TestInjection:
+    def test_reclaim_drains_replicas_on_victim_gpu(self, live_system):
+        sim, cluster, streams, system = live_system
+        router = system.routers[LLAMA2_7B.name]
+        before = len([r for r in router.replicas if r.accepting])
+        assert before >= 1
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=1e9),
+        )
+        victim = router.replicas[0].stages[0].reservation.gpu
+        injector._reclaim(victim)
+        assert injector.events[0].replicas_hit >= 1
+        assert LLAMA2_7B.name in injector.events[0].models_hit
+        after = len([r for r in router.replicas if r.accepting])
+        assert after == before - injector.events[0].replicas_hit
+
+    def test_reclaimed_gpu_blocked_then_restored(self, live_system):
+        sim, cluster, streams, system = live_system
+        rng = np.random.default_rng(0)
+        injector = FailureInjector(
+            sim, cluster, rng, system, ReclamationPolicy(mtbf=1e9, downtime_mean=30.0)
+        )
+        idle = next(g for g in cluster.gpus if not g.model_tags)
+        free_before = idle.free_memory
+        injector._reclaim(idle)
+        assert idle.free_memory == pytest.approx(0.0, abs=1.0)
+        sim.run(until=sim.now + 500.0)
+        assert idle.free_memory >= free_before * 0.99
+
+    def test_poisson_schedule_fires_events(self, live_system):
+        sim, cluster, streams, system = live_system
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=20.0, downtime_mean=10.0),
+        )
+        injector.start()
+        sim.run(until=sim.now + 200.0)
+        injector.stop()
+        assert len(injector.events) >= 3
+
+    def test_stop_halts_injection(self, live_system):
+        sim, cluster, streams, system = live_system
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=5.0),
+        )
+        injector.start()
+        sim.run(until=sim.now + 30.0)
+        injector.stop()
+        count = len(injector.events)
+        sim.run(until=sim.now + 100.0)
+        assert len(injector.events) == count
+
+    def test_victim_choice_serving_biased_hits_models(self, live_system):
+        sim, cluster, streams, system = live_system
+        rng = np.random.default_rng(1)
+        injector = FailureInjector(
+            sim, cluster, rng, system,
+            ReclamationPolicy(mtbf=1e9, choice=VictimChoice.SERVING_BIASED),
+        )
+        victim = injector._pick_victim()
+        assert victim.model_tags  # hosts at least one model
+
+    def test_victim_choice_idle_first_spares_models(self, live_system):
+        sim, cluster, streams, system = live_system
+        rng = np.random.default_rng(2)
+        injector = FailureInjector(
+            sim, cluster, rng, system,
+            ReclamationPolicy(mtbf=1e9, choice=VictimChoice.IDLE_FIRST),
+        )
+        victim = injector._pick_victim()
+        assert not victim.model_tags
+
+    def test_summary_shape(self, live_system):
+        sim, cluster, streams, system = live_system
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=30.0, downtime_mean=10.0),
+        )
+        injector.start()
+        sim.run(until=sim.now + 120.0)
+        summary = injector.summary()
+        assert summary["events"] == len(injector.events)
+        assert summary["replicas_hit"] >= 0
+        assert set(summary) >= {"events", "recovered", "mean_recovery_s"}
+
+
+class TestRecovery:
+    def test_system_recovers_capacity_after_reclamation(self, live_system):
+        """FlexPipe's own control loop restores the drained replica."""
+        sim, cluster, streams, system = live_system
+        # Live traffic so the autoscaler sees demand.
+        generator = WorkloadGenerator(
+            sim,
+            PoissonArrivals(4.0, streams.stream("arrivals")),
+            RequestSampler(LLAMA2_7B.name, streams.stream("requests")),
+            system.submit,
+            duration=300.0,
+        )
+        tracker = RecoveryTracker(sim)
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=1e9, downtime_mean=20.0),
+            tracker=tracker,
+        )
+        poller = PeriodicProcess(sim, 1.0, tracker.poll, start_delay=1.0)
+        router = system.routers[LLAMA2_7B.name]
+        victim = router.replicas[0].stages[0].reservation.gpu
+        injector._reclaim(victim)
+        assert tracker.open_events == 1
+        sim.run(until=sim.now + 400.0)
+        assert generator.offered > 0
+        poller.stop()
+        event = injector.events[0]
+        assert event.recovered_at is not None
+        assert event.recovery_time > 0.0

@@ -1,0 +1,182 @@
+"""Tests for the Eq. 10 KV consistency protocol and validity-mask algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.kvcache import (
+    KVCacheState,
+    ValidityMask,
+    delta_sync,
+    snapshot_transfer,
+)
+
+
+class TestValidityMask:
+    def test_upto_builds_prefix_mask(self):
+        mask = ValidityMask.upto(5)
+        assert mask.count == 5
+        assert mask.contains(0) and mask.contains(4)
+        assert not mask.contains(5)
+
+    def test_upto_zero_is_empty(self):
+        assert ValidityMask.upto(0).count == 0
+
+    def test_upto_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ValidityMask.upto(-1)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            ValidityMask(((3, 3),))  # empty range
+        with pytest.raises(ValueError):
+            ValidityMask(((0, 5), (3, 8)))  # overlapping
+        with pytest.raises(ValueError):
+            ValidityMask(((5, 8), (0, 2)))  # unsorted
+
+    def test_union_merges_adjacent_ranges(self):
+        a = ValidityMask(((0, 5),))
+        b = ValidityMask(((5, 10),))
+        assert a.union(b).ranges == ((0, 10),)
+
+    def test_union_keeps_gaps(self):
+        a = ValidityMask(((0, 3),))
+        b = ValidityMask(((7, 9),))
+        assert a.union(b).ranges == ((0, 3), (7, 9))
+
+    def test_intersect_is_elementwise_and(self):
+        a = ValidityMask(((0, 10),))
+        b = ValidityMask(((5, 15),))
+        assert a.intersect(b).ranges == ((5, 10),)
+
+    def test_intersect_disjoint_is_empty(self):
+        a = ValidityMask(((0, 3),))
+        b = ValidityMask(((5, 8),))
+        assert a.intersect(b).count == 0
+
+    def test_invalid_before_finds_gaps(self):
+        mask = ValidityMask(((0, 3), (6, 8)))
+        gaps = mask.invalid_before(10)
+        assert gaps.ranges == ((3, 6), (8, 10))
+
+    def test_invalid_before_full_prefix(self):
+        assert ValidityMask().invalid_before(4).ranges == ((0, 4),)
+
+    def test_invalid_before_none_missing(self):
+        assert ValidityMask.upto(10).invalid_before(10).count == 0
+
+
+class TestKVCacheState:
+    def test_append_extends_mask(self):
+        state = KVCacheState(request_id=1, bytes_per_token=2.0)
+        state.append_tokens(10)
+        assert state.generated == 10
+        assert state.is_consistent()
+        assert state.bytes_total == 20.0
+
+    def test_append_negative_rejected(self):
+        state = KVCacheState(request_id=1, bytes_per_token=1.0)
+        with pytest.raises(ValueError):
+            state.append_tokens(-1)
+
+    def test_stale_tokens_empty_when_consistent(self):
+        state = KVCacheState(request_id=1, bytes_per_token=1.0)
+        state.append_tokens(7)
+        assert state.stale_tokens().count == 0
+
+
+class TestMigrationProtocol:
+    """Eq. 10: snapshot -> decode continues -> delta sync -> consistent."""
+
+    def test_snapshot_copies_current_prefix(self):
+        src = KVCacheState(request_id=3, bytes_per_token=4.0)
+        src.append_tokens(100)
+        dst = snapshot_transfer(src)
+        assert dst.generated == 100
+        assert dst.is_consistent()
+
+    def test_decode_during_migration_makes_target_stale(self):
+        src = KVCacheState(request_id=3, bytes_per_token=4.0)
+        src.append_tokens(100)
+        dst = snapshot_transfer(src)
+        src.append_tokens(5)  # tokens generated during the async window
+        dst.generated = src.generated
+        assert dst.stale_tokens().count == 5
+
+    def test_delta_sync_restores_consistency(self):
+        src = KVCacheState(request_id=3, bytes_per_token=4.0)
+        src.append_tokens(100)
+        dst = snapshot_transfer(src)
+        src.append_tokens(5)
+        moved = delta_sync(src, dst)
+        assert moved == 5 * 4.0
+        assert dst.is_consistent()
+        assert dst.generated == 105
+
+    def test_delta_sync_cross_request_rejected(self):
+        src = KVCacheState(request_id=1, bytes_per_token=1.0)
+        dst = KVCacheState(request_id=2, bytes_per_token=1.0)
+        with pytest.raises(ValueError):
+            delta_sync(src, dst)
+
+    def test_delta_sync_idempotent(self):
+        src = KVCacheState(request_id=1, bytes_per_token=1.0)
+        src.append_tokens(10)
+        dst = snapshot_transfer(src)
+        delta_sync(src, dst)
+        assert delta_sync(src, dst) == 0.0
+
+
+class TestMaskProperties:
+    """Property-based checks of the Eq. 10 algebra."""
+
+    ranges = st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 10)), min_size=0, max_size=5
+    )
+
+    @staticmethod
+    def _build(pairs) -> ValidityMask:
+        mask = ValidityMask()
+        for start, width in pairs:
+            mask = mask.union(ValidityMask(((start, start + width),)))
+        return mask
+
+    @given(a=ranges, b=ranges)
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_commutative_and_superset(self, a, b):
+        ma, mb = self._build(a), self._build(b)
+        u1, u2 = ma.union(mb), mb.union(ma)
+        assert u1.ranges == u2.ranges
+        assert u1.count >= max(ma.count, mb.count)
+
+    @given(a=ranges, b=ranges)
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_is_subset_of_both(self, a, b):
+        ma, mb = self._build(a), self._build(b)
+        inter = ma.intersect(mb)
+        assert inter.count <= min(ma.count, mb.count)
+        for start, end in inter.ranges:
+            for token in (start, end - 1):
+                assert ma.contains(token) and mb.contains(token)
+
+    @given(a=ranges, n=st.integers(0, 80))
+    @settings(max_examples=100, deadline=None)
+    def test_mask_and_complement_partition_prefix(self, a, n):
+        mask = self._build(a)
+        gaps = mask.invalid_before(n)
+        clipped = mask.intersect(ValidityMask.upto(n) if n else ValidityMask())
+        assert clipped.count + gaps.count == n
+
+    @given(generated=st.integers(0, 200), extra=st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_migration_protocol_always_converges(self, generated, extra):
+        """Invariant 4 of DESIGN.md: after snapshot + delta sync the target
+        covers exactly the generated tokens."""
+        src = KVCacheState(request_id=1, bytes_per_token=1.0)
+        src.append_tokens(generated)
+        dst = snapshot_transfer(src)
+        src.append_tokens(extra)
+        delta_sync(src, dst)
+        assert dst.is_consistent()
+        assert dst.mask.count == generated + extra

@@ -1,0 +1,321 @@
+"""Tests for the paged KV block manager (vLLM-style, Eq. 10 integration)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.kvcache import ValidityMask
+from repro.pipeline.paged_kv import (
+    BlockPool,
+    CapacityError,
+    PagedKVCache,
+    PagedKVConfig,
+    PagedKVError,
+)
+
+
+def make_cache(n_blocks=16, block_tokens=4, watermark=0.0, bytes_per_token=2.0):
+    return PagedKVCache(
+        PagedKVConfig(
+            n_blocks=n_blocks,
+            block_tokens=block_tokens,
+            bytes_per_token=bytes_per_token,
+            watermark=watermark,
+        )
+    )
+
+
+class TestConfig:
+    def test_block_bytes(self):
+        cfg = PagedKVConfig(n_blocks=8, block_tokens=16, bytes_per_token=2.0)
+        assert cfg.block_bytes == 32.0
+        assert cfg.capacity_tokens == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_blocks": 0},
+            {"n_blocks": 4, "block_tokens": 0},
+            {"n_blocks": 4, "bytes_per_token": 0.0},
+            {"n_blocks": 4, "watermark": 1.0},
+            {"n_blocks": 4, "watermark": -0.1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PagedKVConfig(**kwargs)
+
+
+class TestBlockPool:
+    def test_allocate_release_cycle(self):
+        pool = BlockPool(2)
+        a = pool.allocate()
+        b = pool.allocate()
+        assert pool.free_blocks == 0
+        with pytest.raises(CapacityError):
+            pool.allocate()
+        pool.release(a)
+        pool.release(b)
+        assert pool.free_blocks == 2
+        pool.check_leaks()
+
+    def test_share_keeps_block_alive(self):
+        pool = BlockPool(1)
+        block = pool.allocate()
+        pool.share(block)
+        pool.release(block)
+        assert pool.free_blocks == 0  # still one reference
+        pool.release(block)
+        assert pool.free_blocks == 1
+
+    def test_release_unallocated_rejected(self):
+        with pytest.raises(PagedKVError, match="unallocated"):
+            BlockPool(1).release(0)
+
+    def test_share_unallocated_rejected(self):
+        with pytest.raises(PagedKVError, match="unallocated"):
+            BlockPool(1).share(0)
+
+
+class TestRegisterAppendFree:
+    def test_register_allocates_prompt_blocks(self):
+        cache = make_cache(block_tokens=4)
+        cache.register(1, prompt_tokens=10)
+        assert cache.sequence(1).tokens == 10
+        assert len(cache.sequence(1).block_table) == 3  # ceil(10/4)
+        cache.check_invariants()
+
+    def test_append_grows_blocks_lazily(self):
+        cache = make_cache(block_tokens=4)
+        cache.register(1, prompt_tokens=4)
+        cache.append(1, 1)
+        assert len(cache.sequence(1).block_table) == 2
+        cache.append(1, 3)  # fills block 2 exactly; no new block
+        assert len(cache.sequence(1).block_table) == 2
+        cache.check_invariants()
+
+    def test_free_returns_blocks_to_pool(self):
+        cache = make_cache(n_blocks=4, block_tokens=4)
+        cache.register(1, prompt_tokens=16)
+        assert cache.pool.free_blocks == 0
+        freed = cache.free(1)
+        assert freed == 4
+        assert cache.pool.free_blocks == 4
+        assert 1 not in cache
+
+    def test_double_register_rejected(self):
+        cache = make_cache()
+        cache.register(1)
+        with pytest.raises(PagedKVError, match="already registered"):
+            cache.register(1)
+
+    def test_unknown_request_rejected(self):
+        with pytest.raises(PagedKVError, match="unknown"):
+            make_cache().append(99)
+
+    def test_register_beyond_capacity_rolls_back(self):
+        cache = make_cache(n_blocks=2, block_tokens=4)
+        with pytest.raises(CapacityError):
+            cache.register(1, prompt_tokens=100)
+        assert 1 not in cache
+        assert cache.pool.free_blocks == 2
+        cache.check_invariants()
+
+    def test_utilization_and_resident_bytes(self):
+        cache = make_cache(n_blocks=8, block_tokens=4, bytes_per_token=2.0)
+        cache.register(1, prompt_tokens=8)
+        assert cache.utilization == pytest.approx(0.25)
+        assert cache.resident_bytes == pytest.approx(2 * 4 * 2.0)
+        assert cache.resident_tokens == 8
+
+    def test_negative_append_rejected(self):
+        cache = make_cache()
+        cache.register(1)
+        with pytest.raises(ValueError, match="negative"):
+            cache.append(1, -1)
+
+
+class TestAdmission:
+    def test_watermark_reserves_headroom(self):
+        cache = make_cache(n_blocks=10, block_tokens=4, watermark=0.2)
+        assert cache.can_admit(8 * 4)  # needs 8 of 10, reserve 2 -> ok
+        assert not cache.can_admit(9 * 4)  # would dip into the reserve
+
+    def test_can_admit_tracks_usage(self):
+        cache = make_cache(n_blocks=4, block_tokens=4)
+        assert cache.can_admit(16)
+        cache.register(1, prompt_tokens=12)
+        assert cache.can_admit(4)
+        assert not cache.can_admit(8)
+
+
+class TestFork:
+    def test_fork_shares_full_blocks(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=8)  # exactly 2 full blocks
+        cache.fork(1, 2)
+        assert cache.pool.used_blocks == 2  # fully shared
+        assert cache.sequence(2).tokens == 8
+        cache.check_invariants()
+
+    def test_fork_copies_partial_tail(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=6)  # 1 full + 1 partial
+        cache.fork(1, 2)
+        assert cache.pool.used_blocks == 3  # shared full + two tails
+        t1, t2 = cache.sequence(1).block_table, cache.sequence(2).block_table
+        assert t1[0] == t2[0]
+        assert t1[1] != t2[1]
+
+    def test_append_after_fork_copies_on_write(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=8)
+        cache.fork(1, 2)
+        shared_tail = cache.sequence(1).block_table[-1]
+        # Token 9 opens a new block; block 2 stays shared since it is full.
+        cache.append(1, 1)
+        assert cache.pool.refcount(shared_tail) == 2
+        cache.check_invariants()
+
+    def test_cow_on_shared_partial_tail(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=8)
+        cache.fork(1, 2)
+        cache.append(1, 1)  # seq 1 has a private 9th-token block
+        cache.append(1, 1)  # appending into private partial: no copy
+        cache.check_invariants()
+        assert cache.sequence(1).tokens == 10
+
+    def test_fork_then_free_parent_keeps_child(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=8)
+        cache.fork(1, 2)
+        cache.free(1)
+        assert cache.sequence(2).tokens == 8
+        cache.check_invariants()
+
+    def test_fork_to_existing_id_rejected(self):
+        cache = make_cache()
+        cache.register(1, prompt_tokens=4)
+        cache.register(2)
+        with pytest.raises(PagedKVError, match="already registered"):
+            cache.fork(1, 2)
+
+
+class TestPreemption:
+    def test_choose_victims_lru_order(self):
+        cache = make_cache(n_blocks=4, block_tokens=4, watermark=0.0)
+        cache.register(1, prompt_tokens=8, now=1.0)
+        cache.register(2, prompt_tokens=8, now=2.0)
+        victims = cache.choose_victims(blocks_needed=2)
+        assert victims == [1]  # oldest first
+
+    def test_choose_victims_none_when_space_free(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=4)
+        assert cache.choose_victims(blocks_needed=2) == []
+
+    def test_choose_victims_impossible_raises(self):
+        cache = make_cache(n_blocks=2, block_tokens=4)
+        cache.register(1, prompt_tokens=8)
+        with pytest.raises(CapacityError, match="evicting all"):
+            cache.choose_victims(blocks_needed=5)
+
+    def test_preempt_frees_and_counts(self):
+        cache = make_cache(n_blocks=4, block_tokens=4)
+        cache.register(1, prompt_tokens=8)
+        cache.preempt(1)
+        assert cache.preemptions == 1
+        assert cache.pool.free_blocks == 4
+
+
+class TestMigration:
+    def test_migration_bytes_full_when_no_snapshot(self):
+        cache = make_cache(bytes_per_token=3.0)
+        cache.register(1, prompt_tokens=10)
+        assert cache.migration_bytes(1) == pytest.approx(30.0)
+
+    def test_migration_bytes_delta_with_snapshot(self):
+        cache = make_cache(bytes_per_token=1.0)
+        cache.register(1, prompt_tokens=10)
+        cache.append(1, 5)
+        snapshot = ValidityMask.upto(10)
+        assert cache.migration_bytes(1, snapshot) == pytest.approx(5.0)
+
+    def test_validity_mask_covers_resident_prefix(self):
+        cache = make_cache()
+        cache.register(1, prompt_tokens=7)
+        assert cache.validity(1).count == 7
+
+    def test_blocks_for_range(self):
+        cache = make_cache(n_blocks=8, block_tokens=4)
+        cache.register(1, prompt_tokens=16)
+        table = cache.sequence(1).block_table
+        assert cache.blocks_for_range(1, 0, 4) == table[:1]
+        assert cache.blocks_for_range(1, 3, 5) == table[:2]
+        assert cache.blocks_for_range(1, 4, 16) == table[1:]
+        assert cache.blocks_for_range(1, 0, 0) == []
+
+    def test_blocks_for_range_out_of_bounds(self):
+        cache = make_cache()
+        cache.register(1, prompt_tokens=4)
+        with pytest.raises(ValueError, match="outside resident"):
+            cache.blocks_for_range(1, 0, 5)
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["register", "append", "free", "fork"]),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_no_leaks_under_random_workload(self, ops):
+        """Invariant 4 analogue: arbitrary op sequences never leak blocks."""
+        cache = make_cache(n_blocks=12, block_tokens=4)
+        live: set[int] = set()
+        next_id = 100
+        for op, rid, amount in ops:
+            try:
+                if op == "register":
+                    if rid in live:
+                        continue
+                    cache.register(rid, prompt_tokens=amount)
+                    live.add(rid)
+                elif op == "append" and rid in live:
+                    cache.append(rid, amount)
+                elif op == "free" and rid in live:
+                    cache.free(rid)
+                    live.remove(rid)
+                elif op == "fork" and rid in live:
+                    cache.fork(rid, next_id)
+                    live.add(next_id)
+                    next_id += 1
+            except CapacityError:
+                pass  # legal outcome under memory pressure
+            cache.check_invariants()
+        for rid in list(live):
+            cache.free(rid)
+        assert cache.pool.free_blocks == 12
+        cache.check_invariants()
+
+    @given(
+        prompt=st.integers(min_value=0, max_value=40),
+        appends=st.lists(st.integers(min_value=0, max_value=8), max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_block_table_size_always_matches_tokens(self, prompt, appends):
+        cache = make_cache(n_blocks=64, block_tokens=4)
+        cache.register(1, prompt_tokens=prompt)
+        for n in appends:
+            cache.append(1, n)
+        seq = cache.sequence(1)
+        assert len(seq.block_table) == -(-seq.tokens // 4)
+        cache.check_invariants()

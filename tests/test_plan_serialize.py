@@ -1,0 +1,123 @@
+"""Tests for plan serialization and transition diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.partitioning.ladder import GranularityLadder
+from repro.partitioning.serialize import (
+    diff_plans,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def ladder(opt_profile):
+    return GranularityLadder(opt_profile, stage_counts=(2, 4, 8, 16, 32))
+
+
+class TestSerialization:
+    def test_dict_shape(self, ladder):
+        plan = ladder.plan(4)
+        payload = plan_to_dict(plan)
+        assert payload["model"] == plan.model_name
+        assert payload["n_stages"] == 4
+        assert len(payload["stages"]) == 4
+        assert payload["stages"][0]["start"] == 0
+
+    def test_json_roundtrip(self, ladder, opt_profile):
+        plan = ladder.plan(8)
+        text = plan_to_json(plan)
+        back = plan_from_json(text, opt_profile)
+        assert back.n_stages == plan.n_stages
+        assert back.cuts == plan.cuts
+        assert back.max_batch == plan.max_batch
+        assert [s.param_bytes for s in back.stages] == pytest.approx(
+            [s.param_bytes for s in plan.stages]
+        )
+
+    def test_json_file_roundtrip(self, ladder, opt_profile, tmp_path):
+        plan = ladder.plan(4)
+        path = tmp_path / "plan.json"
+        plan_to_json(plan, path)
+        back = plan_from_json(path, opt_profile)
+        assert back.cuts == plan.cuts
+
+    def test_wrong_model_rejected(self, ladder, llama_profile):
+        payload = plan_to_dict(ladder.plan(4))
+        with pytest.raises(ValueError, match="plan is for"):
+            plan_from_dict(payload, llama_profile)
+
+    def test_gap_in_stages_rejected(self, ladder, opt_profile):
+        payload = plan_to_dict(ladder.plan(4))
+        payload["stages"][1]["start"] += 1  # open a gap
+        with pytest.raises(ValueError, match="starts at"):
+            plan_from_dict(payload, opt_profile)
+
+    def test_partial_coverage_rejected(self, ladder, opt_profile):
+        payload = plan_to_dict(ladder.plan(4))
+        payload["stages"] = payload["stages"][:-1]  # drop the tail
+        with pytest.raises(ValueError, match="full operator range"):
+            plan_from_dict(payload, opt_profile)
+
+    def test_json_is_valid_json(self, ladder):
+        parsed = json.loads(plan_to_json(ladder.plan(2)))
+        assert parsed["n_stages"] == 2
+
+
+class TestTransitionDiff:
+    def test_split_reuses_aligned_stages(self, ladder):
+        coarse, fine = ladder.plan(4), ladder.plan(8)
+        diff = diff_plans(coarse, fine)
+        assert diff.kind == "split"
+        # Every coarse stage start coincides with a fine stage start, so 4
+        # of 8 target stages reuse GPUs (nested ladder property).
+        assert diff.reused_gpus == 4
+        assert diff.fresh_gpus == 4
+
+    def test_merge_loads_only_complement(self, ladder):
+        fine, coarse = ladder.plan(8), ladder.plan(4)
+        diff = diff_plans(fine, coarse)
+        assert diff.kind == "merge"
+        assert diff.reused_gpus == 4  # every merged stage keeps its head GPU
+        total_params = sum(s.param_bytes for s in coarse.stages)
+        # Reusing the resident halves means loading roughly half the model.
+        assert diff.total_load_bytes < 0.75 * total_params
+        assert diff.total_load_bytes > 0.0
+
+    def test_noop_diff_loads_nothing(self, ladder):
+        plan = ladder.plan(8)
+        diff = diff_plans(plan, plan)
+        assert diff.kind == "noop"
+        assert diff.total_load_bytes == pytest.approx(0.0)
+        assert diff.reused_gpus == plan.n_stages
+
+    def test_split_load_bytes_cover_unshared_range(self, ladder):
+        coarse, fine = ladder.plan(2), ladder.plan(4)
+        diff = diff_plans(coarse, fine)
+        fine_params = sum(s.param_bytes for s in fine.stages)
+        shared = sum(
+            t.end - t.start for t in diff.stages if t.reuses_source_index is not None
+        )
+        assert 0 < diff.total_load_bytes < fine_params
+        assert shared > 0
+
+    def test_different_models_rejected(self, ladder, llama_profile):
+        other = GranularityLadder(llama_profile, stage_counts=(2, 4)).plan(2)
+        with pytest.raises(ValueError, match="different models"):
+            diff_plans(ladder.plan(2), other)
+
+    @pytest.mark.parametrize("src,dst", [(2, 32), (32, 2), (4, 16), (16, 4)])
+    def test_diff_consistency_across_rungs(self, ladder, src, dst):
+        diff = diff_plans(ladder.plan(src), ladder.plan(dst))
+        assert len(diff.stages) == dst
+        for t in diff.stages:
+            assert t.load_bytes >= 0.0
+        # Load bytes never exceed the whole model.
+        total = sum(s.param_bytes for s in ladder.plan(dst).stages)
+        assert diff.total_load_bytes <= total + 1e-6

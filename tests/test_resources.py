@@ -1,0 +1,164 @@
+"""Tests for the counted Resource / Store simulation primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import Resource, Store
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        fired = []
+        res.acquire(1, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [0.0]
+        assert res.in_use == 1
+        assert res.available == 1
+
+    def test_waiters_block_until_release(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+        res.acquire(1, lambda: order.append("a"))
+        res.acquire(1, lambda: order.append("b"))
+        sim.run_until_idle()
+        assert order == ["a"]
+        sim.schedule(5.0, res.release, 1)
+        sim.run_until_idle()
+        assert order == ["a", "b"]
+
+    def test_fifo_order_among_waiters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+        for name in "abc":
+            res.acquire(1, lambda n=name: order.append(n))
+        sim.run_until_idle()
+        res.release(1)
+        sim.run_until_idle()
+        res.release(1)
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_head_of_line_blocking(self):
+        """A big request at the head blocks smaller ones behind it (FIFO)."""
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        order = []
+        res.acquire(2, lambda: order.append("big1"))
+        res.acquire(2, lambda: order.append("big2"))
+        res.acquire(1, lambda: order.append("small"))
+        sim.run_until_idle()
+        assert order == ["big1"]  # small waits behind big2 even though 0 free
+
+    def test_wait_time_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire(1, lambda: None)
+        res.acquire(1, lambda: None)
+        sim.run_until_idle()
+        sim.schedule(10.0, res.release, 1)
+        sim.run_until_idle()
+        assert res.grants == 2
+        assert res.mean_wait() == pytest.approx(5.0)  # (0 + 10) / 2
+
+    def test_mean_wait_zero_before_grants(self):
+        assert Resource(Simulator(), 1).mean_wait() == 0.0
+
+    def test_acquire_more_than_capacity_rejected(self):
+        res = Resource(Simulator(), capacity=2)
+        with pytest.raises(ValueError, match="cannot acquire"):
+            res.acquire(3, lambda: None)
+
+    def test_over_release_rejected(self):
+        res = Resource(Simulator(), capacity=2)
+        with pytest.raises(ValueError, match="release"):
+            res.release(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Resource(Simulator(), capacity=0)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire(1, lambda: None)
+        res.acquire(1, lambda: None)
+        res.acquire(1, lambda: None)
+        sim.run_until_idle()
+        assert res.queue_length == 2
+
+    @given(
+        requests=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=20)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_requests_eventually_granted(self, requests):
+        """Conservation: with releases, every acquire is granted exactly once."""
+        sim = Simulator()
+        res = Resource(sim, capacity=3)
+        granted = []
+
+        def make_handler(idx, units):
+            def fire():
+                granted.append(idx)
+                sim.schedule(1.0, res.release, units)
+
+            return fire
+
+        for i, units in enumerate(requests):
+            res.acquire(units, make_handler(i, units))
+        sim.run_until_idle()
+        assert sorted(granted) == list(range(len(requests)))
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+        store.put("x")
+        store.get(got.append)
+        sim.run_until_idle()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+        store.get(got.append)
+        sim.run_until_idle()
+        assert got == []
+        assert store.waiting_getters == 1
+        store.put(42)
+        sim.run_until_idle()
+        assert got == [42]
+
+    def test_fifo_items_and_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+        store.get(lambda item: got.append(("g1", item)))
+        store.get(lambda item: got.append(("g2", item)))
+        store.put("a")
+        store.put("b")
+        sim.run_until_idle()
+        assert got == [("g1", "a"), ("g2", "b")]
+
+    def test_len_counts_buffered_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        store.get(lambda _: None)
+        sim.run_until_idle()
+        assert len(store) == 1
+        assert store.puts == 2
+        assert store.gets == 1

@@ -1,0 +1,190 @@
+"""Tests for warm cache, affinity, Eq. 11/12 decisions, coordinator, autoscaler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hrg import HierarchicalResourceGraph
+from repro.scaling.affinity import AffinityScheduler, AffinityWeights
+from repro.scaling.coordinator import ScalingCoordinator
+from repro.scaling.decision import scaling_granularity, slo_feasible_stages
+from repro.scaling.warm_cache import HostParamCache
+from repro.transfer.links import GB
+
+
+class TestHostParamCache:
+    def test_put_then_full_coverage(self, small_cluster, llama_profile):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        n = len(llama_profile.graph)
+        nbytes = llama_profile.graph.param_bytes(0, n // 2)
+        assert cache.put(server, "LLAMA2-7B", 0, n // 2, nbytes, now=0.0)
+        covered = cache.coverage(server, llama_profile, 0, n // 2)
+        assert covered == pytest.approx(nbytes)
+
+    def test_partial_overlap_coverage(self, small_cluster, llama_profile):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        n = len(llama_profile.graph)
+        cache.put(server, "LLAMA2-7B", 0, n // 2, llama_profile.graph.param_bytes(0, n // 2), 0.0)
+        # Ask for a range that half-overlaps the cached entry.
+        covered = cache.coverage(server, llama_profile, n // 4, 3 * n // 4)
+        expected = llama_profile.graph.param_bytes(n // 4, n // 2)
+        assert covered == pytest.approx(expected)
+
+    def test_merged_stage_warm_from_fine_pieces(self, small_cluster, llama_profile):
+        """§5/§7 together: a merged stage reuses the pieces its fine-grained
+        predecessors cached."""
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        n = len(llama_profile.graph)
+        quarter = n // 4
+        for i in range(4):
+            lo, hi = i * quarter, (i + 1) * quarter
+            cache.put(server, "LLAMA2-7B", lo, hi, llama_profile.graph.param_bytes(lo, hi), 0.0)
+        covered = cache.coverage(server, llama_profile, 0, 4 * quarter)
+        assert covered == pytest.approx(llama_profile.graph.param_bytes(0, 4 * quarter))
+
+    def test_wrong_model_not_covered(self, small_cluster, llama_profile, opt_profile):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        cache.put(server, "OPT-66B", 0, 10, GB, 0.0)
+        assert cache.coverage(server, llama_profile, 0, 10) == 0.0
+
+    def test_lru_eviction_respects_host_memory(self, small_cluster, llama_profile):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        server.host_memory = 10 * GB
+        assert cache.put(server, "LLAMA2-7B", 0, 5, 6 * GB, now=0.0)
+        assert cache.put(server, "LLAMA2-7B", 5, 10, 6 * GB, now=1.0)  # evicts first
+        assert cache.entry_count(server) == 1
+        assert cache.coverage(server, llama_profile, 0, 5) == 0.0
+
+    def test_oversized_entry_rejected(self, small_cluster):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        assert not cache.put(server, "m", 0, 1, 10_000 * GB, now=0.0)
+
+    def test_covered_entry_refreshes_not_duplicates(self, small_cluster):
+        cache = HostParamCache()
+        server = small_cluster.servers[0]
+        cache.put(server, "m", 0, 10, GB, now=0.0)
+        cache.put(server, "m", 2, 8, 0.5 * GB, now=1.0)  # already covered
+        assert cache.entry_count(server) == 1
+
+
+class TestAffinity:
+    def test_recent_host_ranks_first(self, small_cluster):
+        sched = AffinityScheduler()
+        warm, cold = small_cluster.servers[0], small_cluster.servers[1]
+        sched.record_placement("m", warm, now=0.0)
+        ranked = sched.rank("m", [cold, warm], now=1.0)
+        assert ranked[0] is warm
+
+    def test_temporal_decay_erodes_affinity(self, small_cluster):
+        sched = AffinityScheduler(AffinityWeights(decay=1.0))
+        server = small_cluster.servers[0]
+        sched.record_placement("m", server, now=0.0)
+        fresh = sched.score("m", server, now=0.1)
+        stale = sched.score("m", server, now=50.0)
+        assert stale < fresh
+
+    def test_gpu_availability_term(self, small_cluster):
+        sched = AffinityScheduler()
+        roomy, tight = small_cluster.servers[0], small_cluster.servers[1]
+        for gpu in tight.gpus:
+            gpu.reserve("bg", 79.5 * GB)
+        assert sched.score("m", roomy, 0.0, min_free_bytes=GB) > sched.score(
+            "m", tight, 0.0, min_free_bytes=GB
+        )
+
+    def test_unknown_server_scores_on_availability_only(self, small_cluster):
+        sched = AffinityScheduler(AffinityWeights(w_g=0.0))
+        assert sched.score("m", small_cluster.servers[0], now=0.0) == 0.0
+
+
+class TestScalingDecisions:
+    def test_eq11_calm_system_scales_coarse(self):
+        assert scaling_granularity(cv=0.2, queue_length=0) <= 2
+
+    def test_eq11_bursty_congested_scales_fine(self):
+        m = scaling_granularity(cv=4.0, queue_length=512)
+        assert m >= 24  # near G_max
+
+    def test_eq11_monotone_in_pressure(self):
+        values = [
+            scaling_granularity(cv, q)
+            for cv, q in [(0.5, 10), (1.0, 60), (2.0, 150), (4.0, 400)]
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_eq11_invalid_gmax(self):
+        with pytest.raises(ValueError):
+            scaling_granularity(1.0, 1, g_max=0)
+
+    def test_eq12_backlog_drives_units(self):
+        # 100 queued, 5 req/s per unit, 10 s budget after 2 s init:
+        # each unit clears 50 requests in the budget -> 2 units.
+        assert slo_feasible_stages(12.0, 2.0, 5.0, 100) == 2
+        # Halving the budget doubles the requirement.
+        assert slo_feasible_stages(7.0, 2.0, 5.0, 100) == 4
+
+    def test_eq12_no_backlog_no_expansion(self):
+        assert slo_feasible_stages(10.0, 1.0, 5.0, 0) == 0
+
+    def test_eq12_unmeetable_returns_sentinel(self):
+        assert slo_feasible_stages(5.0, 6.0, 5.0, 10) == 10**6
+
+    def test_eq12_rejects_zero_throughput(self):
+        with pytest.raises(ValueError):
+            slo_feasible_stages(10.0, 1.0, 0.0, 10)
+
+
+class TestCoordinator:
+    def test_scorer_penalises_contended_servers(self, small_cluster):
+        hrg = HierarchicalResourceGraph(small_cluster)
+        coordinator = ScalingCoordinator(hrg, AffinityScheduler())
+        busy_server = small_cluster.servers[0]
+        for _ in range(5):
+            hrg.register_scaling_event(busy_server, now=0.0)
+        scorer = coordinator.scorer("m", now=0.0)
+        busy_gpu = busy_server.gpus[0]
+        quiet_gpu = small_cluster.servers[-1].gpus[0]
+        assert scorer(quiet_gpu) > scorer(busy_gpu)
+
+    def test_scorer_prefers_warm_servers(self, small_cluster):
+        hrg = HierarchicalResourceGraph(small_cluster)
+        affinity = AffinityScheduler()
+        coordinator = ScalingCoordinator(hrg, affinity)
+        warm_server = small_cluster.servers[0]
+        affinity.record_placement("m", warm_server, now=0.0)
+        scorer = coordinator.scorer("m", now=0.1)
+        assert scorer(warm_server.gpus[0]) > scorer(small_cluster.servers[-1].gpus[0])
+
+    def test_isolation_penalty_under_bursty_cv(self, small_cluster):
+        hrg = HierarchicalResourceGraph(small_cluster)
+        coordinator = ScalingCoordinator(hrg, AffinityScheduler(), cv_fn=lambda: 4.0)
+        shared = small_cluster.gpus[0]
+        shared.reserve("x", GB, model="other")
+        scorer = coordinator.scorer("m", now=0.0)
+        assert scorer(small_cluster.gpus[1]) > scorer(shared)
+
+    def test_ablation_flags_disable_terms(self, small_cluster):
+        hrg = HierarchicalResourceGraph(small_cluster)
+        affinity = AffinityScheduler()
+        coordinator = ScalingCoordinator(
+            hrg, affinity, use_hrg=False, use_affinity=False
+        )
+        affinity.record_placement("m", small_cluster.servers[0], now=0.0)
+        hrg.register_scaling_event(small_cluster.servers[1], now=0.0)
+        scorer = coordinator.scorer("m", now=0.0)
+        assert scorer(small_cluster.servers[0].gpus[0]) == scorer(
+            small_cluster.servers[1].gpus[0]
+        )
+
+    def test_record_scaling_touches_each_server_once(self, small_cluster):
+        hrg = HierarchicalResourceGraph(small_cluster)
+        coordinator = ScalingCoordinator(hrg, AffinityScheduler())
+        server = small_cluster.servers[0]
+        coordinator.record_scaling("m", list(server.gpus), now=0.0)
+        assert hrg.events_registered == 1

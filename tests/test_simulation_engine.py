@@ -1,0 +1,206 @@
+"""Tests for the discrete-event engine, periodic processes, RNG streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import Event, SimulationError, Simulator
+from repro.simulation.processes import PeriodicProcess
+from repro.simulation.randomness import RandomStreams
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+
+        def first():
+            sim.schedule(1.0, fired.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["second"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0  # clock advanced to the horizon
+
+    def test_run_until_then_continue(self, sim):
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_events_limits_processing(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_the_loop(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_reentrant_run_rejected(self, sim):
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+
+    def test_run_until_idle_raises_on_runaway(self, sim):
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_pending_count_skips_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_count() == 1
+
+    def test_peek_returns_next_live_event_time(self, sim):
+        drop = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.peek() == 2.0
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestPeriodicProcess:
+    def test_fires_every_interval(self, sim):
+        ticks = []
+        PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_start_delay_zero_fires_immediately(self, sim):
+        ticks = []
+        PeriodicProcess(sim, 2.0, lambda: ticks.append(sim.now), start_delay=0.0)
+        sim.run(until=4.5)
+        assert ticks == [0.0, 2.0, 4.0]
+
+    def test_stop_halts_future_ticks(self, sim):
+        ticks = []
+        proc = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, proc.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not proc.running
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("arrivals")
+        b = RandomStreams(7).stream("arrivals")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("arrivals").random(5)
+        b = streams.stream("requests").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_order_of_first_use_does_not_matter(self):
+        s1 = RandomStreams(3)
+        s1.stream("x")
+        x_then_y = s1.stream("y").random(3).tolist()
+        s2 = RandomStreams(3)
+        y_only = s2.stream("y").random(3).tolist()
+        assert x_then_y == y_only
+
+    def test_attribute_access_is_stream(self):
+        streams = RandomStreams(1)
+        assert streams.arrivals is streams.stream("arrivals")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(-1)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")

@@ -1,0 +1,110 @@
+"""Tests for the Splitwise-like prompt corpus (§9 workload substitution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.splitwise import (
+    CODING,
+    CONVERSATION,
+    MixedCorpusSampler,
+    SCENARIOS,
+    get_scenario,
+)
+
+
+class TestScenarios:
+    def test_lookup_by_name(self):
+        assert get_scenario("conversation") is CONVERSATION
+        assert get_scenario("coding") is CODING
+
+    def test_unknown_scenario_raises_with_choices(self):
+        with pytest.raises(KeyError, match="coding"):
+            get_scenario("speech")
+
+    def test_registry_names_match_objects(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_coding_prompts_longer_than_conversation(self):
+        rng = np.random.default_rng(0)
+        conv = [CONVERSATION.prompt.sample(rng) for _ in range(2000)]
+        code = [CODING.prompt.sample(rng) for _ in range(2000)]
+        assert np.median(code) > 1.5 * np.median(conv)
+
+    def test_coding_outputs_much_shorter(self):
+        rng = np.random.default_rng(0)
+        conv = [CONVERSATION.output.sample(rng) for _ in range(2000)]
+        code = [CODING.output.sample(rng) for _ in range(2000)]
+        assert np.median(conv) > 10 * np.median(code)
+
+    def test_medians_near_published_values(self):
+        rng = np.random.default_rng(1)
+        conv_p = np.median([CONVERSATION.prompt.sample(rng) for _ in range(4000)])
+        code_p = np.median([CODING.prompt.sample(rng) for _ in range(4000)])
+        assert conv_p == pytest.approx(1020, rel=0.15)
+        assert code_p == pytest.approx(1930, rel=0.15)
+
+    def test_samples_respect_clip_bounds(self):
+        rng = np.random.default_rng(2)
+        for __ in range(500):
+            p = CODING.prompt.sample(rng)
+            o = CODING.output.sample(rng)
+            assert CODING.prompt.lo <= p <= CODING.prompt.hi
+            assert CODING.output.lo <= o <= CODING.output.hi
+
+    def test_sampler_builds_requests(self):
+        rng = np.random.default_rng(3)
+        sampler = CONVERSATION.sampler("llama2-7b", rng, slo_latency=2.5)
+        req = sampler.sample(arrival_time=10.0)
+        assert req.model == "llama2-7b"
+        assert req.arrival_time == 10.0
+        assert req.slo_latency == 2.5
+        assert req.prompt_tokens >= 16
+
+    def test_mean_prompt_tokens_positive(self):
+        rng = np.random.default_rng(4)
+        assert CONVERSATION.mean_prompt_tokens(rng, n=256) > 500
+
+
+class TestMixedCorpus:
+    def test_default_mix_samples_both_scenarios(self):
+        rng = np.random.default_rng(0)
+        mixed = MixedCorpusSampler("opt-66b", rng)
+        outputs = [mixed.sample(i).output_tokens for i in range(800)]
+        # Coding outputs are tiny, conversation outputs are long: a mixed
+        # stream must contain both modes.
+        assert min(outputs) <= 8
+        assert max(outputs) >= 100
+
+    def test_single_scenario_weight(self):
+        rng = np.random.default_rng(1)
+        mixed = MixedCorpusSampler("opt-66b", rng, weights={"coding": 1.0})
+        outputs = [mixed.sample(i).output_tokens for i in range(300)]
+        assert np.median(outputs) < 40
+
+    def test_weights_are_normalised(self):
+        rng = np.random.default_rng(2)
+        a = MixedCorpusSampler("m", rng, weights={"coding": 2.0, "conversation": 2.0})
+        assert a._probs.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedCorpusSampler("m", np.random.default_rng(0), weights={})
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            MixedCorpusSampler("m", np.random.default_rng(0), weights={"coding": 0.0})
+
+    def test_unknown_scenario_in_weights(self):
+        with pytest.raises(KeyError):
+            MixedCorpusSampler("m", np.random.default_rng(0), weights={"speech": 1.0})
+
+    def test_request_ids_unique_across_mix(self):
+        rng = np.random.default_rng(3)
+        mixed = MixedCorpusSampler("m", rng)
+        rids = [(mixed.sample(i).model, mixed.sample(i).rid) for i in range(100)]
+        # ids are unique per underlying sampler; (model, rid) pairs may repeat
+        # across samplers but every sample must carry the right model.
+        assert all(model == "m" for model, __ in rids)

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: every serving system on a live workload.
+
+These run short simulations on the full paper cluster with fragmentation,
+exercising the complete stack (allocation -> loading -> batching ->
+pipelined execution -> scaling/refactoring -> metrics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, run_system
+from repro.experiments.systems import (
+    SYSTEM_FACTORIES,
+    make_alpaserve,
+    make_flexpipe,
+    make_muxserve,
+    make_serverlessllm,
+    make_tetris,
+    replicas_for_fraction,
+)
+
+FAST = dict(
+    duration=60.0,
+    settle_time=120.0,
+    warmup_time=20.0,
+    drain_time=20.0,
+    qps=10.0,
+)
+
+
+@pytest.fixture(scope="module")
+def flexpipe_run():
+    cfg = ExperimentConfig(cv=2.0, **FAST)
+    return run_system(make_flexpipe, cfg)
+
+
+class TestFlexPipeEndToEnd:
+    def test_serves_all_requests(self, flexpipe_run):
+        summary, _ = flexpipe_run
+        assert summary.offered > 100
+        assert summary.completed == summary.offered
+
+    def test_goodput_positive(self, flexpipe_run):
+        # This deliberately under-provisioned short run stresses the scaling
+        # path; the assertion is that the system keeps making goodput, not
+        # that it holds the SLO universally.
+        summary, _ = flexpipe_run
+        assert summary.goodput_rate > 0.1
+
+    def test_latency_breakdown_consistent(self, flexpipe_run):
+        summary, _ = flexpipe_run
+        assert summary.mean_latency == pytest.approx(
+            summary.breakdown.total, rel=0.01
+        )
+        assert summary.breakdown.communication > 0
+
+    def test_utilization_in_unit_range(self, flexpipe_run):
+        summary, _ = flexpipe_run
+        assert 0.0 < summary.gpu_utilization <= 1.0
+        assert summary.gpus_used >= 4
+
+    def test_consistency_protocol_exercised_on_refactors(self, flexpipe_run):
+        summary, system = flexpipe_run
+        checks = sum(
+            state.executor.consistency_checks
+            for state in system._models.values()
+        )
+        assert checks >= summary.refactor_count
+
+
+class TestAllSystemsEndToEnd:
+    @pytest.mark.parametrize("name", sorted(SYSTEM_FACTORIES))
+    def test_system_completes_workload(self, name):
+        cfg = ExperimentConfig(cv=1.0, **FAST)
+        summary, system = run_system(SYSTEM_FACTORIES[name], cfg)
+        assert summary.completed > 0, f"{name} completed nothing"
+        assert summary.completed >= 0.9 * summary.offered
+        assert summary.goodput_rate > 0.3
+        system_names = {r.system for r in [summary]}
+        assert system_names == {system.name}
+
+    def test_static_systems_never_scale(self):
+        cfg = ExperimentConfig(cv=2.0, **FAST)
+        for factory in (make_alpaserve, make_muxserve):
+            summary, _ = run_system(factory, cfg)
+            assert summary.scale_out_count == 0
+            assert summary.refactor_count == 0
+
+    def test_reactive_systems_scale_out_under_load(self):
+        cfg = ExperimentConfig(cv=2.0, qps=20.0, duration=90.0,
+                               settle_time=120.0, warmup_time=20.0, drain_time=20.0)
+        summary, _ = run_system(make_serverlessllm, cfg)
+        assert summary.scale_out_count > 0
+
+    def test_flexpipe_refactors_under_cv_shift(self):
+        cfg = ExperimentConfig(cv=4.0, qps=15.0, duration=90.0,
+                               settle_time=120.0, warmup_time=20.0, drain_time=20.0)
+        summary, system = run_system(make_flexpipe, cfg)
+        assert summary.refactor_count > 0
+        granularity = system.current_granularity(cfg.model)
+        assert granularity >= 4  # moved away from nothing; sanity
+
+    def test_muxserve_packs_fewer_gpus_than_alpaserve(self):
+        cfg = ExperimentConfig(cv=1.0, background_model="BERT-21B", **FAST)
+        alpa, _ = run_system(make_alpaserve, cfg)
+        mux, _ = run_system(make_muxserve, cfg)
+        assert mux.gpus_used <= alpa.gpus_used
+
+    def test_same_seed_same_workload_across_systems(self):
+        cfg = ExperimentConfig(cv=1.0, **FAST)
+        a, _ = run_system(make_alpaserve, cfg)
+        b, _ = run_system(make_tetris, cfg)
+        assert a.offered == b.offered  # identical arrival stream
+
+
+class TestAblations:
+    def test_refactoring_off_never_refactors(self):
+        cfg = ExperimentConfig(cv=4.0, **FAST)
+        summary, _ = run_system(
+            lambda ctx, c: make_flexpipe(ctx, c, enable_refactoring=False), cfg
+        )
+        assert summary.refactor_count == 0
+
+    def test_warm_cache_off_disables_warm_starts(self):
+        cfg = ExperimentConfig(cv=4.0, **FAST)
+        summary, _ = run_system(
+            lambda ctx, c: make_flexpipe(ctx, c, enable_warm_cache=False), cfg
+        )
+        assert summary.warm_start_rate == 0.0
+
+
+class TestProvisioning:
+    def test_static_fraction_gets_more_replicas(self, ctx):
+        cfg = ExperimentConfig()
+        low = replicas_for_fraction(ctx, cfg, 4, 0.30)
+        high = replicas_for_fraction(ctx, cfg, 4, 0.75)
+        assert high >= low >= 1

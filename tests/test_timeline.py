@@ -1,0 +1,209 @@
+"""Tests for time-series recording/export and ASCII figure rendering."""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ascii_plot import (
+    bar_chart,
+    grouped_bar_chart,
+    histogram,
+    sparkline,
+)
+from repro.metrics.timeline import Series, Timeline
+
+
+class TestSeries:
+    def test_record_and_stats(self):
+        s = Series("latency")
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+            s.record(t, v)
+        assert len(s) == 3
+        assert s.mean() == pytest.approx(3.0)
+        assert s.percentile(50) == pytest.approx(3.0)
+
+    def test_out_of_order_rejected(self):
+        s = Series("x")
+        s.record(5.0, 1.0)
+        with pytest.raises(ValueError, match="before last"):
+            s.record(4.0, 1.0)
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series("x").mean()
+        with pytest.raises(ValueError, match="empty"):
+            Series("x").percentile(99)
+
+    def test_window_mean_aggregates(self):
+        s = Series("rt")
+        samples = [(1.0, 2.0), (5.0, 4.0), (12.0, 10.0), (14.0, 20.0)]
+        for t, v in samples:
+            s.record(t, v)
+        w = s.window_mean(10.0)
+        assert len(w) == 2
+        assert w.values[0] == pytest.approx(3.0)  # (2+4)/2 in [0,10)
+        assert w.values[1] == pytest.approx(15.0)  # (10+20)/2 in [10,20)
+        assert w.times == [5.0, 15.0]
+
+    def test_window_mean_skips_empty_windows(self):
+        s = Series("rt")
+        s.record(1.0, 1.0)
+        s.record(25.0, 3.0)
+        w = s.window_mean(10.0)
+        assert w.times == [5.0, 25.0]
+
+    def test_window_mean_empty_series(self):
+        assert len(Series("x").window_mean(10.0)) == 0
+
+    def test_window_mean_validates(self):
+        with pytest.raises(ValueError, match="window"):
+            Series("x").window_mean(0.0)
+
+    def test_window_mean_with_duration_bins_tail(self):
+        s = Series("rt")
+        s.record(95.0, 7.0)
+        w = s.window_mean(10.0, duration=100.0)
+        assert w.times[-1] == pytest.approx(95.0)
+
+
+class TestTimeline:
+    def test_record_creates_series(self):
+        tl = Timeline()
+        tl.record("a", 0.0, 1.0)
+        tl.record("b", 0.0, 2.0)
+        assert tl.names() == ["a", "b"]
+        assert "a" in tl
+        assert "c" not in tl
+
+    def test_csv_roundtrip(self, tmp_path):
+        tl = Timeline()
+        for i in range(10):
+            tl.record("qps", float(i), i * 1.5)
+            tl.record("util", float(i), math.sin(i))
+        path = tmp_path / "timeline.csv"
+        tl.to_csv(path)
+        back = Timeline.from_csv(path)
+        assert back.names() == tl.names()
+        assert back.series("util").values == pytest.approx(tl.series("util").values)
+        assert back.series("qps").times == tl.series("qps").times
+
+    def test_csv_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="Timeline CSV"):
+            Timeline.from_csv(path)
+
+    def test_json_roundtrip(self, tmp_path):
+        tl = Timeline()
+        tl.record("x", 1.0, 2.0)
+        tl.record("x", 2.0, 4.0)
+        path = tmp_path / "timeline.json"
+        tl.to_json(path)
+        back = Timeline.from_json(path)
+        assert back.series("x").values == [2.0, 4.0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_csv_roundtrip_property(self, samples):
+        import tempfile
+
+        tl = Timeline()
+        for t, v in sorted(samples, key=lambda p: p[0]):
+            tl.record("s", t, float(v))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "t.csv"
+            tl.to_csv(path)
+            back = Timeline.from_csv(path)
+        if "s" in tl:
+            assert back.series("s").times == tl.series("s").times
+            assert back.series("s").values == tl.series("s").values
+
+
+class TestSparkline:
+    def test_renders_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_renders_blank(self):
+        assert sparkline([0.0, math.nan, 1.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_width_resampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestBarCharts:
+    def test_bar_chart_scales_to_max(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_bar_chart_title_and_unit(self):
+        out = bar_chart(["x"], [3.0], title="T", unit="s")
+        assert out.startswith("T\n")
+        assert "3s" in out
+
+    def test_bar_chart_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_grouped_chart_global_scale(self):
+        out = grouped_bar_chart(
+            ["cv1", "cv4"],
+            {"FlexPipe": [1.0, 2.0], "Tetris": [4.0, 4.0]},
+            width=8,
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        flex_cv1 = next(l for l in lines if "FlexPipe" in l)
+        assert flex_cv1.count("█") == 2  # 1.0 / 4.0 * 8
+
+    def test_grouped_chart_validates(self):
+        with pytest.raises(ValueError, match="groups"):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self):
+        out = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 6
+
+    def test_empty_data(self):
+        assert "(no data)" in histogram([], title="h")
+
+    def test_filters_non_finite(self):
+        out = histogram([1.0, math.inf, math.nan, 2.0], bins=2)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 2
+
+    def test_validates_bins(self):
+        with pytest.raises(ValueError, match="bins"):
+            histogram([1.0], bins=0)
