@@ -9,12 +9,6 @@ Determinism guarantees:
 * events fire in non-decreasing timestamp order;
 * events scheduled for the same timestamp fire in scheduling (FIFO) order;
 * cancelled events are skipped without side effects.
-
-Bookkeeping is O(1): the simulator maintains a live-event counter so
-``pending_count`` / ``run_until_idle`` never scan the heap, and cancelled
-events are compacted out of the heap once they dominate it, keeping both
-push costs and memory proportional to the *live* event population even
-under cancel-heavy workloads (batch timers, scale-in watchdogs).
 """
 
 from __future__ import annotations
@@ -22,10 +16,6 @@ from __future__ import annotations
 import heapq
 import math
 from typing import Any, Callable
-
-# Compact the heap when it holds more than this many cancelled entries and
-# they outnumber the live ones; small heaps are never worth rebuilding.
-_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -40,7 +30,7 @@ class Event:
     :meth:`cancel` them.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -48,17 +38,10 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        self._sim: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        if self.cancelled:
-            return
         self.cancelled = True
-        sim = self._sim
-        if sim is not None:
-            # Still queued: keep the simulator's live/dead counts exact.
-            sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -86,8 +69,6 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._stopped = False
-        self._live = 0  # non-cancelled events currently in the heap
-        self._dead = 0  # cancelled events awaiting compaction or pop
         self.events_processed = 0
 
     @property
@@ -110,48 +91,18 @@ class Simulator:
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
         event = Event(time, self._seq, callback, args)
-        event._sim = self
         self._seq += 1
         heapq.heappush(self._queue, event)
-        self._live += 1
         return event
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
-    # ------------------------------------------------------------------
-    def _on_cancel(self) -> None:
-        """A queued event was cancelled: update counters, maybe compact."""
-        self._live -= 1
-        self._dead += 1
-        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
-            self._compact()
-
-    def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.
-
-        Heapify preserves the fire order because ``Event.__lt__`` is a total
-        order over (time, seq) — determinism is unaffected.
-        """
-        self._queue = [e for e in self._queue if not e.cancelled]
-        heapq.heapify(self._queue)
-        self._dead = 0
-
-    def _pop(self) -> Event:
-        """Pop the heap top, keeping counters exact."""
-        event = heapq.heappop(self._queue)
-        if event.cancelled:
-            self._dead -= 1
-        else:
-            self._live -= 1
-        event._sim = None
-        return event
-
     def peek(self) -> float | None:
         """Timestamp of the next pending event, or ``None`` if idle."""
         while self._queue and self._queue[0].cancelled:
-            self._pop()
+            heapq.heappop(self._queue)
         return self._queue[0].time if self._queue else None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -171,11 +122,11 @@ class Simulator:
             while self._queue and not self._stopped:
                 event = self._queue[0]
                 if event.cancelled:
-                    self._pop()
+                    heapq.heappop(self._queue)
                     continue
                 if until is not None and event.time > until:
                     break
-                self._pop()
+                heapq.heappop(self._queue)
                 self._now = event.time
                 event.callback(*event.args)
                 self.events_processed += 1
@@ -190,12 +141,14 @@ class Simulator:
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely (with a runaway-loop backstop)."""
         self.run(max_events=max_events)
-        if self._live and not self._stopped:
-            raise SimulationError(
-                f"run_until_idle exceeded {max_events} events with "
-                f"{self._live} still pending"
-            )
+        if self._queue and not self._stopped:
+            pending = sum(1 for e in self._queue if not e.cancelled)
+            if pending:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events with "
+                    f"{pending} still pending"
+                )
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued.  O(1)."""
-        return self._live
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -13,8 +13,8 @@ from repro.experiments import figures
 from repro.metrics.report import format_table
 
 
-def test_ablations(benchmark):
-    rows = benchmark.pedantic(figures.ablation_rows, rounds=1, iterations=1)
+def test_ablations(benchmark, runner):
+    rows = benchmark.pedantic(figures.ablation_rows, kwargs={'runner': runner}, rounds=1, iterations=1)
     emit(
         "ablations",
         format_table(

@@ -16,8 +16,8 @@ from repro.experiments import figures
 from repro.metrics.report import format_table
 
 
-def test_case_study_reservation_reduction(benchmark):
-    stats = benchmark.pedantic(figures.case_study_rows, rounds=1, iterations=1)
+def test_case_study_reservation_reduction(benchmark, runner):
+    stats = benchmark.pedantic(figures.case_study_rows, kwargs={'runner': runner}, rounds=1, iterations=1)
     rows = [
         ["Always-on reservation (FlexPipe)", f"{stats['flex_reserved_frac']:.0%} of peak (paper: 30%)"],
         ["Always-on reservation (static)", f"{stats['static_reserved_frac']:.0%} of peak (paper: 75%)"],

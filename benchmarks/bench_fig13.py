@@ -15,8 +15,8 @@ from repro.metrics.report import format_table
 MODEL_ORDER = ["WHISPER-9B", "LLAMA2-7B", "BERT-21B", "OPT-66B"]
 
 
-def test_fig13_prefill_latency_by_model(benchmark):
-    rows = benchmark.pedantic(figures.fig13_rows, rounds=1, iterations=1)
+def test_fig13_prefill_latency_by_model(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig13_rows, kwargs={'runner': runner}, rounds=1, iterations=1)
     emit(
         "fig13",
         format_table(

@@ -16,8 +16,8 @@ PAPER_QUEUE = {0.1: 12.5, 1.0: 16.0, 2.0: 25.8, 4.0: 51.2, 8.0: 48.8}
 PAPER_STALL = {0.1: 0.15, 1.0: 0.24, 2.0: 0.49, 4.0: 2.28, 8.0: 3.36}
 
 
-def test_fig3_static_pipeline_vs_cv(benchmark):
-    rows = benchmark.pedantic(figures.fig3_rows, rounds=1, iterations=1)
+def test_fig3_static_pipeline_vs_cv(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig3_rows, kwargs={'runner': runner}, rounds=1, iterations=1)
     emit(
         "fig3",
         format_table(

@@ -13,8 +13,8 @@ from repro.experiments import figures
 from repro.metrics.report import format_table
 
 
-def test_fig4_granularity_vs_cv(benchmark):
-    rows = benchmark.pedantic(figures.fig4_rows, rounds=1, iterations=1)
+def test_fig4_granularity_vs_cv(benchmark, runner):
+    rows = benchmark.pedantic(figures.fig4_rows, kwargs={'runner': runner}, rounds=1, iterations=1)
     emit(
         "fig4",
         format_table(

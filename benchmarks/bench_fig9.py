@@ -14,8 +14,8 @@ from repro.experiments import figures
 from repro.metrics.report import format_table
 
 
-def test_fig9_burst_absorption(benchmark):
-    series = benchmark.pedantic(figures.fig9_series, rounds=1, iterations=1)
+def test_fig9_burst_absorption(benchmark, runner):
+    series = benchmark.pedantic(figures.fig9_series, kwargs={'runner': runner}, rounds=1, iterations=1)
     rows = []
     for name, data in series.items():
         rt = list(data["rt_series"].values())

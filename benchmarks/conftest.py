@@ -6,11 +6,13 @@ Every benchmark prints its paper-vs-measured table and writes it to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
 
@@ -23,11 +25,35 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def bench_runner() -> ExperimentRunner:
+    """The parallel runner the benchmark drivers share.
+
+    Defaults to one worker per core (capped at 8 — the sweeps rarely have
+    more independent cells in flight); ``REPRO_JOBS`` overrides.  Results
+    are byte-identical at any job count.  The result cache is OFF here:
+    pytest-benchmark timings must measure simulations, not pickle loads
+    (set ``REPRO_BENCH_CACHE=1`` to opt back in when iterating on table
+    formatting rather than numbers).
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))  # honors cgroup/affinity limits
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    jobs = int(os.environ.get("REPRO_JOBS") or 0) or min(cores, 8)
+    use_cache = bool(os.environ.get("REPRO_BENCH_CACHE"))
+    return ExperimentRunner(jobs=jobs, use_cache=use_cache)
+
+
 @pytest.fixture(scope="session")
-def cv_sweep():
+def runner():
+    return bench_runner()
+
+
+@pytest.fixture(scope="session")
+def cv_sweep(runner):
     """The five-system CV sweep shared by Figs. 8, 10, 11 and 12.
 
     Running it once per session keeps the full benchmark suite tractable
-    (15 full-cluster simulations).
+    (15 full-cluster simulations, fanned out across the runner's workers).
     """
-    return figures.system_sweep()
+    return figures.system_sweep(runner=runner)

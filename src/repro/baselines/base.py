@@ -114,10 +114,8 @@ class StaticPipelineSystem(ServingSystem):
         )
 
     def _interference(self, gpu) -> float:
-        cvs = [m.cv(self.sim.now) for m in self.monitors.values()]
-        cv = max(cvs) if cvs else 0.0
         return interference_multiplier(
-            gpu, cv, gamma0=self._gamma0, alpha=self._alpha_mux
+            gpu, self.max_cv(), gamma0=self._gamma0, alpha=self._alpha_mux
         )
 
     def _deploy(self, profile, plan, *, wait_time: float = 0.0, **kwargs):

@@ -52,6 +52,16 @@ def _rows_table(rows: list[dict], title: str) -> str:
 # ----------------------------------------------------------------------
 # Runners (import drivers lazily: each pulls in heavy modules)
 # ----------------------------------------------------------------------
+def _runner_from(args):
+    """Build the parallel experiment runner the CLI flags describe."""
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        jobs=getattr(args, "jobs", None),
+        use_cache=False if getattr(args, "no_cache", False) else None,
+    )
+
+
 def _run_table1(args) -> str:
     from repro.experiments import figures
 
@@ -80,11 +90,11 @@ def _run_fig1(args) -> str:
 def _run_fig3(args) -> str:
     from repro.experiments import figures
 
-    rows = figures.fig3_rows(seed=args.seed)
+    rows = figures.fig3_rows(seed=args.seed, runner=_runner_from(args))
     table = _rows_table(rows, "Fig. 3 - static 4-stage pipeline vs workload CV")
     chart = bar_chart(
         [str(r["cv"]) for r in rows],
-        [r["goodput"] for r in rows],
+        [r["goodput_rps"] for r in rows],
         title="goodput (req/s) by CV",
         width=34,
     )
@@ -95,7 +105,7 @@ def _run_fig4(args) -> str:
     from repro.experiments import figures
 
     return _rows_table(
-        figures.fig4_rows(seed=args.seed),
+        figures.fig4_rows(seed=args.seed, runner=_runner_from(args)),
         "Fig. 4 - latency by pipeline granularity and CV",
     )
 
@@ -103,7 +113,7 @@ def _run_fig4(args) -> str:
 def _sweep_figs(args) -> dict:
     from repro.experiments import figures
 
-    return figures.system_sweep(seed=args.seed)
+    return figures.system_sweep(seed=args.seed, runner=_runner_from(args))
 
 
 def _run_fig8(args) -> str:
@@ -117,7 +127,7 @@ def _run_fig8(args) -> str:
 def _run_fig9(args) -> str:
     from repro.experiments import figures
 
-    data = figures.fig9_series(seed=args.seed)
+    data = figures.fig9_series(seed=args.seed, runner=_runner_from(args))
     lines = ["Fig. 9 - response time under CV=8 burst workload (300 s, 15 s windows)"]
     for system, stats in data.items():
         values = list(stats["rt_series"].values())
@@ -157,14 +167,15 @@ def _run_fig13(args) -> str:
     from repro.experiments import figures
 
     return _rows_table(
-        figures.fig13_rows(seed=args.seed), "Fig. 13 - prefill latency by model"
+        figures.fig13_rows(seed=args.seed, runner=_runner_from(args)),
+        "Fig. 13 - prefill latency by model",
     )
 
 
 def _run_case_study(args) -> str:
     from repro.experiments import figures
 
-    stats = figures.case_study_rows(seed=args.seed)
+    stats = figures.case_study_rows(seed=args.seed, runner=_runner_from(args))
     rows = [{"metric": k, "value": v} for k, v in stats.items()]
     return _rows_table(rows, "§9.6 case study - production rollout")
 
@@ -173,7 +184,8 @@ def _run_ablations(args) -> str:
     from repro.experiments import figures
 
     return _rows_table(
-        figures.ablation_rows(seed=args.seed), "Ablations - FlexPipe mechanisms"
+        figures.ablation_rows(seed=args.seed, runner=_runner_from(args)),
+        "Ablations - FlexPipe mechanisms",
     )
 
 
@@ -317,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="FlexPipe reproduction: run the paper's experiments.",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment sweeps "
+        "(default: $REPRO_JOBS or 1; results are identical at any level)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every run, ignoring and not writing the "
+        "on-disk result cache (.runcache/)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list reproducible experiments")
     run = sub.add_parser("run", help="run one experiment")

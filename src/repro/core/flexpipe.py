@@ -71,7 +71,10 @@ class FlexPipeSystem(ServingSystem):
     ):
         self.config = config or FlexPipeConfig()
         super().__init__(
-            ctx, model_specs, cv_window=self.config.cv_window
+            ctx,
+            model_specs,
+            cv_window=self.config.cv_window,
+            cv_refresh=self.config.control_interval,
         )
         cfg = self.config
         self.enable_refactoring = enable_refactoring
@@ -86,9 +89,7 @@ class FlexPipeSystem(ServingSystem):
             self.affinity,
             use_hrg=enable_hrg,
             use_affinity=enable_affinity,
-            cv_fn=lambda: max(
-                (m.cv(self.sim.now) for m in self.monitors.values()), default=0.0
-            ),
+            cv_fn=self.max_cv,
         )
         self.factory = ReplicaFactory(
             ctx,
@@ -196,12 +197,14 @@ class FlexPipeSystem(ServingSystem):
         return plan_for
 
     def _interference(self, gpu) -> float:
-        """Eq. 9 execution-time inflation on shared GPUs."""
+        """Eq. 9 execution-time inflation on shared GPUs.
+
+        Uses the control-interval CV cache: this runs on *every* stage
+        start, and the windowed CV only moves on the control-loop timescale.
+        """
         cfg = self.config
-        cvs = [m.cv(self.sim.now) for m in self.monitors.values()]
-        cv = max(cvs) if cvs else 0.0
         return interference_multiplier(
-            gpu, cv, gamma0=cfg.gamma0, alpha=cfg.alpha_mux
+            gpu, self.max_cv(), gamma0=cfg.gamma0, alpha=cfg.alpha_mux
         )
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ queue/GPU-holding samplers, so that system implementations only differ in
 from __future__ import annotations
 
 import abc
+import math
 
 from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector, RunSummary
@@ -30,6 +31,7 @@ class ServingSystem(abc.ABC):
         *,
         queue_sample_interval: float = 0.25,
         cv_window: float = 30.0,
+        cv_refresh: float = 0.5,
     ):
         if not model_specs:
             raise ValueError("serving system needs at least one model")
@@ -46,6 +48,14 @@ class ServingSystem(abc.ABC):
         self.metrics = MetricsCollector(self.name)
         self._gpu_holding_integral = 0.0
         self._last_sample = ctx.sim.now
+        self._epoch_start = ctx.sim.now
+        # Max-over-monitors CV, recomputed at most once per ``cv_refresh``
+        # of simulated time: the windowed CV estimate is O(window arrivals)
+        # and consumers (Eq. 9 interference, placement scoring) query it on
+        # every stage start — far more often than it meaningfully changes.
+        self._cv_refresh = cv_refresh
+        self._cv_cache = 0.0
+        self._cv_cache_time = -math.inf
         self._sampler = PeriodicProcess(
             ctx.sim, queue_sample_interval, self._sample, start_delay=0.0
         )
@@ -61,6 +71,17 @@ class ServingSystem(abc.ABC):
 
     def _on_request_complete(self, request: Request) -> None:
         self.metrics.on_complete(request)
+
+    # ------------------------------------------------------------------
+    def max_cv(self) -> float:
+        """Largest per-model inter-arrival CV, cached per refresh interval."""
+        now = self.sim.now
+        if now - self._cv_cache_time >= self._cv_refresh:
+            self._cv_cache = max(
+                (m.cv(now) for m in self.monitors.values()), default=0.0
+            )
+            self._cv_cache_time = now
+        return self._cv_cache
 
     # ------------------------------------------------------------------
     def _sample(self) -> None:
@@ -89,7 +110,7 @@ class ServingSystem(abc.ABC):
             gpu_busy_seconds=busy,
             gpus_used=max(round(avg_gpus), 1),
             total_gpus=self.ctx.cluster.gpu_count,
-            measure_from=getattr(self, "_epoch_start", 0.0),
+            measure_from=self._epoch_start,
         )
 
     def shutdown(self) -> None:

@@ -147,12 +147,33 @@ def run_system(
 def run_comparison(
     factories: dict[str, Callable[[ServingContext, ExperimentConfig], ServingSystem]],
     cfg: ExperimentConfig,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
 ) -> dict[str, RunSummary]:
-    """Run every system against an identical seeded workload."""
+    """Run every system against an identical seeded workload.
+
+    Registered factories fan out through the parallel runner (and its
+    result cache); ad-hoc callables — closures a test or figure cooked up
+    — run in-process, since they cannot cross the pool boundary.
+    """
+    from repro.experiments.runner import as_task, make_runner
+
+    exp_runner = make_runner(runner, jobs=jobs, use_cache=use_cache)
+    entries = [
+        (name, factory, as_task(name, factory, cfg))
+        for name, factory in factories.items()
+    ]
+    results = iter(
+        exp_runner.run_tasks([task for _, _, task in entries if task is not None])
+    )
     out: dict[str, RunSummary] = {}
-    for name, factory in factories.items():
-        summary, _ = run_system(factory, cfg)
-        out[name] = summary
+    for name, factory, task in entries:
+        if task is None:
+            out[name], _ = run_system(factory, cfg)
+        else:
+            out[name] = next(results).summary
     return out
 
 
@@ -160,8 +181,31 @@ def sweep_cv(
     factories: dict[str, Callable],
     cfg: ExperimentConfig,
     cvs: tuple[float, ...],
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
 ) -> dict[float, dict[str, RunSummary]]:
-    """The common CV-sweep pattern of Figs. 3, 4, 8, 10, 11, 12."""
-    return {
-        cv: run_comparison(factories, replace(cfg, cv=cv)) for cv in cvs
-    }
+    """The common CV-sweep pattern of Figs. 3, 4, 8, 10, 11, 12.
+
+    The whole (cv x system) grid is flattened into one runner batch so a
+    4-way pool stays saturated across CV levels, not just within one.
+    """
+    from repro.experiments.runner import as_task, make_runner
+
+    exp_runner = make_runner(runner, jobs=jobs, use_cache=use_cache)
+    grid = [
+        (cv, name, factory, as_task(name, factory, replace(cfg, cv=cv)))
+        for cv in cvs
+        for name, factory in factories.items()
+    ]
+    results = iter(
+        exp_runner.run_tasks([task for *_, task in grid if task is not None])
+    )
+    out: dict[float, dict[str, RunSummary]] = {cv: {} for cv in cvs}
+    for cv, name, factory, task in grid:
+        if task is None:
+            out[cv][name], _ = run_system(factory, replace(cfg, cv=cv))
+        else:
+            out[cv][name] = next(results).summary
+    return out

@@ -13,18 +13,12 @@ import numpy as np
 
 from repro.cluster.fragmentation import FragmentationModel
 from repro.core.context import ServingContext
-from repro.experiments.common import (
-    ExperimentConfig,
-    build_environment,
-    run_system,
-)
+from repro.experiments.common import ExperimentConfig, build_environment
+from repro.experiments.runner import RunTask, make_runner
 from repro.experiments.systems import (
     SERVERLESS_FRACTION,
     STATIC_FRACTION,
     SYSTEM_FACTORIES,
-    make_alpaserve,
-    make_flexpipe,
-    make_serverlessllm,
 )
 from repro.metrics.latency import percentiles
 from repro.models.costs import CostModel
@@ -38,6 +32,11 @@ from repro.workloads.traces import DiurnalTrace, DiurnalTraceConfig
 # Shorter horizons for the multi-run sweeps so the full benchmark suite
 # stays tractable; single-run experiments use longer horizons.
 SWEEP = dict(duration=180.0, settle_time=150.0, warmup_time=40.0, drain_time=30.0)
+
+# Every multi-run driver below accepts (jobs, use_cache, runner): the runs
+# fan out across processes through repro.experiments.runner and land in its
+# on-disk cache, so re-rendering a figure recomputes nothing unless the
+# config or the code changed.
 
 
 # ----------------------------------------------------------------------
@@ -137,17 +136,29 @@ def fig1_rows(seed: int = 0, duration_hours: float = 24.0) -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 3 — static pipeline vs request-distribution CV
 # ----------------------------------------------------------------------
-def fig3_rows(cvs=(0.1, 1.0, 2.0, 4.0, 8.0), seed: int = 0) -> list[dict]:
+def fig3_rows(
+    cvs=(0.1, 1.0, 2.0, 4.0, 8.0),
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+) -> list[dict]:
     """A static 4-stage OPT-66B deployment under growing burstiness."""
-    rows = []
-    for cv in cvs:
-        cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
-        # historical_cv=1.0 is the Eq. 4 setpoint of a 4-stage pipeline
-        # ((eta/4)^2), i.e. the paper's static 4-stage configuration.
-        summary, _ = run_system(
-            lambda ctx, c: make_alpaserve(ctx, c, n_stages=4, historical_cv=1.0),
-            cfg,
+    # historical_cv=1.0 is the Eq. 4 setpoint of a 4-stage pipeline
+    # ((eta/4)^2), i.e. the paper's static 4-stage configuration.
+    tasks = [
+        RunTask.create(
+            "AlpaServe",
+            ExperimentConfig(cv=cv, seed=seed, **SWEEP),
+            {"n_stages": 4, "historical_cv": 1.0},
         )
+        for cv in cvs
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
+    rows = []
+    for cv, result in zip(cvs, results):
+        summary = result.summary
         rows.append(
             {
                 "cv": cv,
@@ -167,24 +178,34 @@ def fig3_rows(cvs=(0.1, 1.0, 2.0, 4.0, 8.0), seed: int = 0) -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 4 — latency of 4/8/16-stage pipelines across CVs
 # ----------------------------------------------------------------------
-def fig4_rows(cvs=(0.1, 1.0, 2.0, 4.0), stage_counts=(4, 8, 16), seed: int = 0):
-    rows = []
-    for cv in cvs:
-        for k in stage_counts:
-            cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
-            summary, _ = run_system(
-                lambda ctx, c, k=k: make_alpaserve(ctx, c, n_stages=k, historical_cv=(k / 4.0) ** 2),
-                cfg,
-            )
-            rows.append(
-                {
-                    "cv": cv,
-                    "stages": k,
-                    "mean_latency": summary.mean_latency,
-                    "p95": summary.latency_percentiles[95],
-                }
-            )
-    return rows
+def fig4_rows(
+    cvs=(0.1, 1.0, 2.0, 4.0),
+    stage_counts=(4, 8, 16),
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+):
+    grid = [(cv, k) for cv in cvs for k in stage_counts]
+    tasks = [
+        RunTask.create(
+            "AlpaServe",
+            ExperimentConfig(cv=cv, seed=seed, **SWEEP),
+            {"n_stages": k, "historical_cv": (k / 4.0) ** 2},
+        )
+        for cv, k in grid
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
+    return [
+        {
+            "cv": cv,
+            "stages": k,
+            "mean_latency": result.summary.mean_latency,
+            "p95": result.summary.latency_percentiles[95],
+        }
+        for (cv, k), result in zip(grid, results)
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -195,18 +216,31 @@ def system_sweep(
     systems: tuple[str, ...] | None = None,
     seed: int = 0,
     background_model: str | None = "BERT-21B",
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
 ) -> dict[float, dict[str, object]]:
-    """Run the comparison systems across CVs; reused by Figs. 8, 10-12."""
+    """Run the comparison systems across CVs; reused by Figs. 8, 10-12.
+
+    The full (cv x system) grid goes through the parallel runner as one
+    batch — 15 independent full-cluster simulations.
+    """
     chosen = systems or tuple(SYSTEM_FACTORIES)
-    out: dict[float, dict[str, object]] = {}
-    for cv in cvs:
-        cfg = ExperimentConfig(
-            cv=cv, seed=seed, background_model=background_model, **SWEEP
+    grid = [(cv, name) for cv in cvs for name in chosen]
+    tasks = [
+        RunTask.create(
+            name,
+            ExperimentConfig(
+                cv=cv, seed=seed, background_model=background_model, **SWEEP
+            ),
         )
-        out[cv] = {}
-        for name in chosen:
-            summary, _ = run_system(SYSTEM_FACTORIES[name], cfg)
-            out[cv][name] = summary
+        for cv, name in grid
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
+    out: dict[float, dict[str, object]] = {cv: {} for cv in cvs}
+    for (cv, name), result in zip(grid, results):
+        out[cv][name] = result.summary
     return out
 
 
@@ -270,7 +304,27 @@ def fig12_rows(sweep) -> list[dict]:
 # ----------------------------------------------------------------------
 # Fig. 9 — burst absorption timeline at CV=8
 # ----------------------------------------------------------------------
-def fig9_series(seed: int = 0, window: float = 15.0) -> dict:
+def extract_completed_records(task, summary, system) -> list[tuple]:
+    """Worker-side extractor: per-request (arrival, completion, latency).
+
+    Runs inside the pool worker where the live system object exists; only
+    these plain tuples cross the process boundary (and enter the cache).
+    """
+    return [
+        (r.arrival_time, r.completion_time, r.latency)
+        for r in system.metrics.records
+        if r.completed
+    ]
+
+
+def fig9_series(
+    seed: int = 0,
+    window: float = 15.0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+) -> dict:
     # The paper plots a 300 s slice of a long-running (warm) deployment, so
     # traffic runs 150 s before the plotted window opens; the second tenant
     # gives MuxServe something to multiplex with, as in the paper's cluster.
@@ -278,24 +332,27 @@ def fig9_series(seed: int = 0, window: float = 15.0) -> dict:
         cv=8.0, seed=seed, duration=450.0, settle_time=150.0,
         warmup_time=150.0, drain_time=30.0, background_model="BERT-21B",
     )
+    names = ("FlexPipe", "AlpaServe", "MuxServe")
+    tasks = [
+        RunTask.create(
+            name, cfg, extract="repro.experiments.figures:extract_completed_records"
+        )
+        for name in names
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
     out = {}
-    for name in ("FlexPipe", "AlpaServe", "MuxServe"):
-        summary, system = run_system(SYSTEM_FACTORIES[name], cfg)
-        start = cfg.settle_time + cfg.warmup_time
+    start = cfg.settle_time + cfg.warmup_time
+    for name, result in zip(names, results):
+        summary = result.summary
         records = sorted(
-            (
-                r
-                for r in system.metrics.records
-                if r.completed and r.completion_time >= start
-            ),
-            key=lambda r: r.completion_time,
+            (r for r in result.extra if r[1] >= start), key=lambda r: r[1]
         )
         buckets: dict[int, list[float]] = {}
         arrivals: dict[int, int] = {}
-        for r in records:
-            b = int((r.completion_time - start) // window)
-            buckets.setdefault(b, []).append(r.latency)
-            ab = int((r.arrival_time - start) // window)
+        for arrival_time, completion_time, latency in records:
+            b = int((completion_time - start) // window)
+            buckets.setdefault(b, []).append(latency)
+            ab = int((arrival_time - start) // window)
             if ab >= 0:
                 arrivals[ab] = arrivals.get(ab, 0) + 1
         out[name] = {
@@ -310,33 +367,54 @@ def fig9_series(seed: int = 0, window: float = 15.0) -> dict:
 # ----------------------------------------------------------------------
 # Fig. 13 — prefill latency across model scales
 # ----------------------------------------------------------------------
-def fig13_rows(seed: int = 0) -> list[dict]:
-    rows = []
-    for model_name in ("WHISPER-9B", "LLAMA2-7B", "BERT-21B", "OPT-66B"):
-        cfg = ExperimentConfig(
-            model=model_name, cv=2.0, seed=seed, qps=12.0, **SWEEP
+def fig13_rows(
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+) -> list[dict]:
+    models = ("WHISPER-9B", "LLAMA2-7B", "BERT-21B", "OPT-66B")
+    systems = ("FlexPipe", "AlpaServe", "ServerlessLLM")
+    grid = [(model, name) for model in models for name in systems]
+    tasks = [
+        RunTask.create(
+            name,
+            ExperimentConfig(model=model, cv=2.0, seed=seed, qps=12.0, **SWEEP),
         )
-        for name, factory in (
-            ("FlexPipe", make_flexpipe),
-            ("AlpaServe", make_alpaserve),
-            ("ServerlessLLM", make_serverlessllm),
-        ):
-            summary, _ = run_system(factory, cfg)
-            rows.append(
-                {
-                    "model": model_name,
-                    "system": name,
-                    "prefill_s": summary.mean_prefill_latency,
-                    "p95_latency": summary.latency_percentiles[95],
-                }
-            )
-    return rows
+        for model, name in grid
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
+    return [
+        {
+            "model": model,
+            "system": name,
+            "prefill_s": result.summary.mean_prefill_latency,
+            "p95_latency": result.summary.latency_percentiles[95],
+        }
+        for (model, name), result in zip(grid, results)
+    ]
 
 
 # ----------------------------------------------------------------------
 # §9.6 — production case study: reservation, wait time, init latency
 # ----------------------------------------------------------------------
-def case_study_rows(seed: int = 0) -> dict:
+def extract_initial_init_times(task, summary, system) -> list[float]:
+    """Worker-side extractor: init durations of the initial replica loads."""
+    return [
+        e.init_time
+        for e in system.metrics.events
+        if e.kind == "initial" and e.init_time > 0
+    ]
+
+
+def case_study_rows(
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+) -> dict:
     """§9.6: always-on reservation, service parity, wait and init latency.
 
     "Reservation" is the provisioning policy's always-on share of peak
@@ -346,16 +424,23 @@ def case_study_rows(seed: int = 0) -> dict:
     cold whole-pipeline deployment.
     """
     cfg = ExperimentConfig(cv=4.0, seed=seed, **SWEEP)
-    flex, flex_system = run_system(make_flexpipe, cfg)
-    static, static_system = run_system(make_alpaserve, cfg)
+    flex_result, static_result = make_runner(
+        runner, jobs=jobs, use_cache=use_cache
+    ).run_tasks(
+        [
+            RunTask.create("FlexPipe", cfg),
+            RunTask.create(
+                "AlpaServe",
+                cfg,
+                extract="repro.experiments.figures:extract_initial_init_times",
+            ),
+        ]
+    )
+    flex, static = flex_result.summary, static_result.summary
     # Cold whole-pipeline deployment time, measured from the static
     # system's own initial loads (the baseline every elastic scale-out of
     # FlexPipe is compared against).
-    initial_inits = [
-        e.init_time
-        for e in static_system.metrics.events
-        if e.kind == "initial" and e.init_time > 0
-    ]
+    initial_inits = static_result.extra
     cold_init = float(np.mean(initial_inits)) if initial_inits else 0.0
     init_reduction = 1.0 - flex.mean_init_time / cold_init if cold_init else 0.0
     return {
@@ -377,7 +462,14 @@ def case_study_rows(seed: int = 0) -> dict:
 # ----------------------------------------------------------------------
 # Ablations — each FlexPipe mechanism removed in turn
 # ----------------------------------------------------------------------
-def ablation_rows(seed: int = 0, cv: float = 4.0) -> list[dict]:
+def ablation_rows(
+    seed: int = 0,
+    cv: float = 4.0,
+    *,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    runner=None,
+) -> list[dict]:
     variants = {
         "full": {},
         "no-refactoring": {"enable_refactoring": False},
@@ -386,20 +478,20 @@ def ablation_rows(seed: int = 0, cv: float = 4.0) -> list[dict]:
         "no-affinity": {"enable_affinity": False},
     }
     cfg = ExperimentConfig(cv=cv, seed=seed, **SWEEP)
-    rows = []
-    for name, overrides in variants.items():
-        summary, _ = run_system(
-            lambda ctx, c, o=overrides: make_flexpipe(ctx, c, **o), cfg
-        )
-        rows.append(
-            {
-                "variant": name,
-                "goodput_pct": summary.goodput_rate * 100,
-                "mean_latency": summary.mean_latency,
-                "p99": summary.latency_percentiles[99],
-                "refactors": summary.refactor_count,
-                "warm_rate": summary.warm_start_rate,
-                "mean_init": summary.mean_init_time,
-            }
-        )
-    return rows
+    tasks = [
+        RunTask.create("FlexPipe", cfg, overrides)
+        for overrides in variants.values()
+    ]
+    results = make_runner(runner, jobs=jobs, use_cache=use_cache).run_tasks(tasks)
+    return [
+        {
+            "variant": name,
+            "goodput_pct": result.summary.goodput_rate * 100,
+            "mean_latency": result.summary.mean_latency,
+            "p99": result.summary.latency_percentiles[99],
+            "refactors": result.summary.refactor_count,
+            "warm_rate": result.summary.warm_start_rate,
+            "mean_init": result.summary.mean_init_time,
+        }
+        for name, result in zip(variants, results)
+    ]

@@ -8,7 +8,7 @@ partitioner (Eq. 2) and granularity policy (Eq. 4) consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.models.costs import CostModel
 from repro.models.graph import ComputationGraph
@@ -36,18 +36,34 @@ class StageProfile:
 
 @dataclass
 class ModelProfile:
-    """Profile of a full model against one cost model."""
+    """Profile of a full model against one cost model.
+
+    ``stage()`` and the per-stage capacity queries are memoized: the
+    partitioner's Eq. 2 DP probes the same operator ranges repeatedly, and
+    batch formation re-reads the same stage aggregates on every batch.
+    Profiles are immutable once built (graph and cost model never change),
+    so the caches are never invalidated.
+    """
 
     spec: ModelSpec
     graph: ComputationGraph
     cost_model: CostModel
+    _stage_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _max_batch_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def stage(self, start: int, end: int) -> StageProfile:
-        """Profile the operator range [start, end)."""
+        """Profile the operator range [start, end).  Memoized."""
+        cached = self._stage_cache.get((start, end))
+        if cached is not None:
+            return cached
         if not (0 <= start < end <= len(self.graph)):
             raise ValueError(f"invalid stage range [{start}, {end})")
         last_op = self.graph.operators[end - 1]
-        return StageProfile(
+        profile = StageProfile(
             start=start,
             end=end,
             param_bytes=self.graph.param_bytes(start, end),
@@ -59,6 +75,8 @@ class ModelProfile:
                 self.graph.boundary_quality(end - 1) if end < len(self.graph) else 1.0
             ),
         )
+        self._stage_cache[(start, end)] = profile
+        return profile
 
     def kv_fraction(self, stage: StageProfile) -> float:
         """Share of the model's KV cache resident in this stage."""
@@ -74,8 +92,13 @@ class ModelProfile:
         return self.cost_model.prefill_time(stage.flops_per_token, batch * prompt)
 
     def stage_max_batch(self, stage: StageProfile) -> int:
-        kv_per_request = self.spec.kv_bytes_per_request * self.kv_fraction(stage)
-        return self.cost_model.max_batch(stage.param_bytes, kv_per_request)
+        key = (stage.start, stage.end)
+        cached = self._max_batch_cache.get(key)
+        if cached is None:
+            kv_per_request = self.spec.kv_bytes_per_request * self.kv_fraction(stage)
+            cached = self.cost_model.max_batch(stage.param_bytes, kv_per_request)
+            self._max_batch_cache[key] = cached
+        return cached
 
 
 class Profiler:

@@ -62,7 +62,7 @@ class PipelineReplica:
             )
         self.sim = sim
         self.profile = profile
-        self.plan = plan
+        self._set_plan(plan)
         self.name = name or f"replica-{next(_job_ids)}"
         self.state = ReplicaState.LOADING
         self.on_request_complete = on_request_complete
@@ -90,6 +90,19 @@ class PipelineReplica:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _set_plan(self, plan: PartitionPlan) -> None:
+        """Install a plan and hoist the per-stage constants batch formation
+        reads on every job (the profile aggregates never change per plan)."""
+        self.plan = plan
+        self._stage_consts = [
+            (
+                s.profile.flops_per_token,
+                s.param_bytes,
+                128 * s.profile.boundary_act_bytes_per_token,  # Eq. 3 base batch
+            )
+            for s in plan.stages
+        ]
+
     def _build_stages(
         self, plan: PartitionPlan, reservations: list[StageReservation]
     ) -> list[StageRuntime]:
@@ -175,19 +188,16 @@ class PipelineReplica:
         mean_prompt = statistics.fmean(r.prompt_tokens for r in requests)
         mean_out = statistics.fmean(r.output_tokens for r in requests)
         stage_busy, stage_prefill, handoff = [], [], []
-        stages = self.plan.stages
-        for k, stage in enumerate(stages):
-            prefill = cm.prefill_time(
-                stage.profile.flops_per_token, batch * mean_prompt
-            )
-            decode = mean_out * cm.decode_iter_time(stage.param_bytes, batch)
+        consts = self._stage_consts
+        last = len(consts) - 1
+        for k, (flops_per_token, param_bytes, act_base) in enumerate(consts):
+            prefill = cm.prefill_time(flops_per_token, batch * mean_prompt)
+            decode = mean_out * cm.decode_iter_time(param_bytes, batch)
             stage_prefill.append(prefill)
             stage_busy.append(prefill + decode)
-            if k < len(stages) - 1:
-                act_ptok = stage.profile.boundary_act_bytes_per_token
-                base = 128 * act_ptok  # Eq. 3 base batch
-                act_prefill = activation_bytes(base * mean_prompt, batch)
-                act_decode = activation_bytes(base, batch)
+            if k < last:
+                act_prefill = activation_bytes(act_base * mean_prompt, batch)
+                act_decode = activation_bytes(act_base, batch)
                 handoff.append(
                     cm.hop_time(act_prefill) + mean_out * cm.hop_time(act_decode)
                 )
@@ -259,7 +269,7 @@ class PipelineReplica:
         old_stages = self.stages
         for stage in old_stages:
             stage.retired = True
-        self.plan = new_plan
+        self._set_plan(new_plan)
         self.stages = self._build_stages(new_plan, new_reservations)
         max_batch = min(new_plan.max_batch, batch_cap or new_plan.max_batch)
         self.batcher.config = BatcherConfig(

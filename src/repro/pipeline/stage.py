@@ -63,14 +63,16 @@ class StageRuntime:
         self.reservation = reservation
         self.on_done = on_done
         self.interference = interference or (lambda gpu: 1.0)
-        self.queue: deque[BatchJob] = deque()
+        # Each entry is (job, enqueue_time): FIFO order makes a side table
+        # of enqueue timestamps redundant, and skipping the per-job dict
+        # insert/pop keeps this per-event path allocation-free.
+        self.queue: deque[tuple[BatchJob, float]] = deque()
         self.busy = False
         self.inflight = 0  # jobs enqueued or executing here (for retirement)
         self.retired = False
         self.jobs_executed = 0
         self.busy_seconds = 0.0
         self.stall_seconds = 0.0  # time jobs waited here with work pending
-        self._enqueue_times: dict[int, float] = {}
 
     @property
     def gpu(self) -> GPU:
@@ -85,8 +87,7 @@ class StageRuntime:
         # reconfiguration; only *new* batches are barred (the replica
         # dispatches those onto the new chain).
         self.inflight += 1
-        self._enqueue_times[job.jid] = self.sim.now
-        self.queue.append(job)
+        self.queue.append((job, self.sim.now))
         if not self.busy:
             self._start_next()
 
@@ -94,9 +95,9 @@ class StageRuntime:
     def _start_next(self) -> None:
         if not self.queue:
             return
-        job = self.queue.popleft()
+        job, enqueued_at = self.queue.popleft()
         self.busy = True
-        waited = self.sim.now - self._enqueue_times.pop(job.jid)
+        waited = self.sim.now - enqueued_at
         if self.index > 0:
             self.stall_seconds += waited
         duration = job.stage_busy[self.index] * self.interference(self.gpu)

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+from types import SimpleNamespace
+
 from repro.core.config import FlexPipeConfig
 from repro.core.context import ServingContext, get_graph, get_ladder, get_profile
 from repro.core.deployment import ReplicaFactory
 from repro.core.flexpipe import FlexPipeSystem
+from repro.core.serving import ServingSystem
 from repro.metrics.collector import MetricsCollector
 from repro.models.zoo import LLAMA2_7B, OPT_66B
 from repro.pipeline.replica import ReplicaState
@@ -193,4 +196,41 @@ class TestFlexPipeSystem:
         config = FlexPipeConfig(stage_counts=(2, 4, 8), initial_stages=2)
         system = FlexPipeSystem(ctx, [OPT_66B], config=config)
         assert system.current_granularity(OPT_66B.name) in (2, 4, 8)
+        system.shutdown()
+
+
+class TestMeasurementEpoch:
+    """_epoch_start is initialised at construction, not lazily on reset."""
+
+    class _Dummy(ServingSystem):
+        name = "dummy"
+
+        def start(self) -> None:
+            pass
+
+    def test_summary_without_epoch_reset(self, ctx):
+        system = self._Dummy(ctx, [LLAMA2_7B])
+        assert system._epoch_start == ctx.sim.now
+        ctx.sim.run(until=5.0)
+        summary = system.summarize(5.0)  # no reset_measurement_epoch taken
+        assert summary.offered == 0
+        system.shutdown()
+
+    def test_epoch_start_counts_from_construction_time(self, ctx):
+        system = self._Dummy(ctx, [LLAMA2_7B])
+        system.metrics.on_submit(SimpleNamespace(arrival_time=1.0))
+        ctx.sim.run(until=2.0)
+        assert system.summarize(2.0).offered == 1
+        system.shutdown()
+
+    def test_reset_moves_the_measured_window(self, ctx):
+        system = self._Dummy(ctx, [LLAMA2_7B])
+        system.metrics.on_submit(SimpleNamespace(arrival_time=1.0))
+        ctx.sim.run(until=5.0)
+        system.reset_measurement_epoch()
+        assert system._epoch_start == 5.0
+        system.metrics.on_submit(SimpleNamespace(arrival_time=6.0))
+        ctx.sim.run(until=8.0)
+        summary = system.summarize(3.0)
+        assert summary.offered == 1  # only the post-reset arrival counts
         system.shutdown()

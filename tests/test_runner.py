@@ -1,0 +1,174 @@
+"""Tests for the parallel experiment runner and its result cache.
+
+The determinism contract is the load-bearing one: seeded runs are
+order-independent, so a parallel sweep must be *equal* — every RunSummary
+field — to the sequential sweep, at any job count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.common import ExperimentConfig, run_comparison, sweep_cv
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunTask,
+    as_task,
+    cache_key,
+    code_fingerprint,
+    execute_task,
+)
+from repro.experiments.systems import SYSTEM_FACTORIES, make_flexpipe
+
+# Short horizons keep each simulation under a second; determinism claims
+# are horizon-independent.
+FAST = dict(
+    qps=10.0,
+    duration=40.0,
+    settle_time=120.0,
+    warmup_time=10.0,
+    drain_time=10.0,
+)
+
+
+@pytest.fixture
+def fast_cfg() -> ExperimentConfig:
+    return ExperimentConfig(cv=2.0, seed=0, **FAST)
+
+
+def seq_runner() -> ExperimentRunner:
+    return ExperimentRunner(jobs=1, use_cache=False)
+
+
+def par_runner(jobs: int = 4) -> ExperimentRunner:
+    return ExperimentRunner(jobs=jobs, use_cache=False)
+
+
+class TestRunTask:
+    def test_overrides_are_canonicalised(self, fast_cfg):
+        a = RunTask.create("FlexPipe", fast_cfg, {"b": 1, "a": 2})
+        b = RunTask.create("FlexPipe", fast_cfg, {"a": 2, "b": 1})
+        assert a == b
+        assert cache_key(a) == cache_key(b)
+
+    def test_as_task_resolves_registered_factories(self, fast_cfg):
+        task = as_task("FlexPipe", SYSTEM_FACTORIES["FlexPipe"], fast_cfg)
+        assert task is not None and task.system == "FlexPipe"
+
+    def test_as_task_rejects_adhoc_callables(self, fast_cfg):
+        assert as_task("FlexPipe", lambda ctx, c: None, fast_cfg) is None
+
+    def test_cache_key_differs_by_config_and_overrides(self, fast_cfg):
+        base = RunTask.create("FlexPipe", fast_cfg)
+        other_cfg = RunTask.create(
+            "FlexPipe", dataclasses.replace(fast_cfg, seed=1)
+        )
+        other_sys = RunTask.create("AlpaServe", fast_cfg)
+        overridden = RunTask.create(
+            "FlexPipe", fast_cfg, {"enable_refactoring": False}
+        )
+        keys = {cache_key(t) for t in (base, other_cfg, other_sys, overridden)}
+        assert len(keys) == 4
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestDeterminism:
+    def test_parallel_comparison_identical_to_sequential(self, fast_cfg):
+        factories = {
+            name: SYSTEM_FACTORIES[name] for name in ("FlexPipe", "AlpaServe")
+        }
+        seq = run_comparison(factories, fast_cfg, runner=seq_runner())
+        par = run_comparison(factories, fast_cfg, runner=par_runner())
+        assert seq == par  # every RunSummary field, p50/p99/goodput included
+        for name in factories:
+            assert seq[name].latency_percentiles == par[name].latency_percentiles
+            assert seq[name].goodput == par[name].goodput
+
+    def test_jobs_1_vs_jobs_4_sweep_identical(self, fast_cfg):
+        factories = {"FlexPipe": SYSTEM_FACTORIES["FlexPipe"]}
+        one = sweep_cv(factories, fast_cfg, (1.0, 4.0), runner=par_runner(1))
+        four = sweep_cv(factories, fast_cfg, (1.0, 4.0), runner=par_runner(4))
+        assert one == four
+
+    def test_adhoc_factories_still_run_in_process(self, fast_cfg):
+        factories = {
+            "FlexPipe": SYSTEM_FACTORIES["FlexPipe"],
+            "custom": lambda ctx, c: make_flexpipe(ctx, c, enable_refactoring=False),
+        }
+        out = run_comparison(factories, fast_cfg, runner=par_runner())
+        assert set(out) == {"FlexPipe", "custom"}
+        assert out["custom"].offered == out["FlexPipe"].offered
+
+
+class TestResultCache:
+    def test_second_invocation_runs_zero_simulations(self, fast_cfg, tmp_path):
+        task = RunTask.create("FlexPipe", fast_cfg)
+        first = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        r1 = first.run_task(task)
+        assert first.simulations_run == 1 and not r1.cached
+        second = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        r2 = second.run_task(task)
+        assert second.simulations_run == 0
+        assert second.cache_hits == 1 and r2.cached
+        assert r1.summary == r2.summary
+
+    def test_figure_second_invocation_is_pure_cache(self, tmp_path):
+        kwargs = dict(cvs=(1.0,), seed=0)
+        first = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        rows1 = figures.fig3_rows(runner=first, **kwargs)
+        assert first.simulations_run == len(kwargs["cvs"])
+        second = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        rows2 = figures.fig3_rows(runner=second, **kwargs)
+        assert second.simulations_run == 0
+        assert second.cache_hits == len(kwargs["cvs"])
+        assert rows1 == rows2
+
+    def test_config_change_misses_the_cache(self, fast_cfg, tmp_path):
+        runner = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        runner.run_task(RunTask.create("FlexPipe", fast_cfg))
+        runner.run_task(
+            RunTask.create("FlexPipe", dataclasses.replace(fast_cfg, seed=1))
+        )
+        assert runner.simulations_run == 2
+
+    def test_corrupt_cache_entry_is_a_miss(self, fast_cfg, tmp_path):
+        task = RunTask.create("FlexPipe", fast_cfg)
+        cache = ResultCache(tmp_path)
+        key = cache_key(task)
+        cache.root.mkdir(exist_ok=True)
+        (cache.root / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        runner = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        runner.run_task(task)
+        assert runner.simulations_run == 1
+
+    def test_clear_empties_the_cache(self, fast_cfg, tmp_path):
+        runner = ExperimentRunner(jobs=1, use_cache=True, cache_dir=tmp_path)
+        runner.run_task(RunTask.create("FlexPipe", fast_cfg))
+        assert runner.cache.clear() == 1
+        assert runner.cache.clear() == 0
+
+
+class TestExtractors:
+    def test_extractor_output_crosses_the_pool(self, fast_cfg):
+        task = RunTask.create(
+            "AlpaServe",
+            fast_cfg,
+            extract="repro.experiments.figures:extract_initial_init_times",
+        )
+        summary, extra = execute_task(task)
+        assert summary.completed > 0
+        assert isinstance(extra, list) and extra
+        assert all(t > 0 for t in extra)
+
+    def test_bad_extractor_spec_rejected(self, fast_cfg):
+        task = RunTask.create("FlexPipe", fast_cfg, extract="no-colon")
+        with pytest.raises(ValueError, match="module:function"):
+            execute_task(task)

@@ -147,6 +147,71 @@ class TestRunControl:
         assert sim.events_processed == 5
 
 
+class TestLiveEventCounter:
+    """The O(1) bookkeeping behind pending_count / run_until_idle."""
+
+    def _brute_count(self, sim):
+        return sum(1 for e in sim._queue if not e.cancelled)
+
+    def test_counter_tracks_schedule_fire_cancel(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_count() == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending_count() == 8 == self._brute_count(sim)
+        sim.run(until=5.0)
+        assert sim.pending_count() == self._brute_count(sim)
+        sim.run()
+        assert sim.pending_count() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired: must be a no-op on the counter
+        event.cancel()
+        assert sim.pending_count() == 1
+
+    def test_cancel_heavy_workload_compacts_the_heap(self, sim):
+        keepers = []
+        for i in range(500):
+            event = sim.schedule(float(i + 1), lambda: None)
+            if i % 10 == 0:
+                keepers.append(event)
+            else:
+                event.cancel()
+        # Far more cancellations than live events: the heap must have been
+        # rebuilt rather than carrying ~450 dead entries to their deadline.
+        assert len(sim._queue) < 200
+        assert sim.pending_count() == len(keepers)
+        fired = []
+        sim.schedule(1000.0, lambda: fired.append("sentinel"))
+        sim.run()
+        assert fired == ["sentinel"]
+        assert sim.events_processed == len(keepers) + 1
+
+    def test_order_preserved_across_compaction(self, sim):
+        fired = []
+        doomed = []
+        for i in range(300):
+            if i % 3 == 0:
+                sim.schedule(float(i), fired.append, i)
+            else:
+                doomed.append(sim.schedule(float(i), lambda: None))
+        for event in doomed:
+            event.cancel()
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 100
+
+    def test_run_until_idle_uses_live_counter(self, sim):
+        for i in range(50):
+            sim.schedule(float(i + 1), lambda: None).cancel()
+        sim.schedule(0.5, lambda: None)
+        sim.run_until_idle()  # must not raise: only one live event existed
+        assert sim.pending_count() == 0
+
+
 class TestPeriodicProcess:
     def test_fires_every_interval(self, sim):
         ticks = []
