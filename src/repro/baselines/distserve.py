@@ -83,6 +83,13 @@ class DistServeSystem(StaticPipelineSystem):
         self.decode_routed = 0
 
     # ------------------------------------------------------------------
+    def all_routers(self) -> dict[str, "ModelRouter"]:
+        routers = super().all_routers()
+        for name, router in self.decode_routers.items():
+            routers[f"{name}/decode"] = router
+        return routers
+
+    # ------------------------------------------------------------------
     def classify(self, request: Request) -> str:
         """Phase dominance: which pool should own this request."""
         ratio = request.prompt_tokens / max(request.output_tokens, 1)
@@ -127,6 +134,17 @@ class DistServeSystem(StaticPipelineSystem):
         # Rebind activation/teardown to the decode router: the factory
         # wired the shared (prefill) router by default.
         replica.on_active = self.decode_routers[model].add
+        base_released = replica.on_released
+
+        def released(r):
+            # The factory's teardown only knows the prefill routers, so a
+            # released decode replica would linger in its decode router
+            # forever (a zombie gateway entry) without this removal.
+            self.decode_routers[model].remove(r)
+            if base_released is not None:
+                base_released(r)
+
+        replica.on_released = released
         return replica
 
     # ------------------------------------------------------------------

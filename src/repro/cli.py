@@ -227,6 +227,61 @@ def _run_report(args) -> str:
     return f"wrote {path}"
 
 
+def _run_audit(args) -> int:
+    """``repro audit``: the seeded chaos audit of lifecycle invariants."""
+    from repro.validation.chaos import CHAOS_SYSTEMS, audit_seeds
+
+    systems = args.systems or sorted(CHAOS_SYSTEMS)
+    unknown = [s for s in systems if s not in CHAOS_SYSTEMS]
+    if unknown:
+        print(
+            f"unknown system(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(sorted(CHAOS_SYSTEMS))}",
+            file=sys.stderr,
+        )
+        return 2
+    reports = audit_seeds(
+        seeds=args.seeds,
+        systems=systems,
+        runner=_runner_from(args),
+        case_kwargs={"duration": args.duration},
+    )
+    rows = []
+    for name in systems:
+        mine = [r for r in reports if r.case.system == name]
+        bad = [r for r in mine if not r.ok]
+        rows.append(
+            {
+                "system": name,
+                "seeds": len(mine),
+                "violations": sum(len(r.violations) for r in mine),
+                "failing seeds": ", ".join(str(r.case.seed) for r in bad) or "-",
+                "offered": sum(r.offered for r in mine),
+                "completed": sum(r.completed for r in mine),
+                "shed": sum(r.shed for r in mine),
+            }
+        )
+    print(
+        _rows_table(
+            rows,
+            f"Chaos audit - {args.seeds} seed(s)/system, "
+            "lifecycle invariants at quiesce",
+        )
+    )
+    failures = [r for r in reports if not r.ok]
+    if failures:
+        print("\ninvariant violations:", file=sys.stderr)
+        for report in failures:
+            for violation in report.violations:
+                print(
+                    f"  {report.case.system} seed={report.case.seed}: {violation}",
+                    file=sys.stderr,
+                )
+        return 1
+    print("\nall invariants held across every seeded interleaving.")
+    return 0
+
+
 def _run_trace(args) -> str:
     """``repro trace``: synthesise or inspect Azure-style trace bundles."""
     import numpy as np
@@ -348,6 +403,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment name (see `repro list`)")
     sub.add_parser("demo", help="quick FlexPipe end-to-end run")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from bench results")
+    audit = sub.add_parser(
+        "audit",
+        help="seeded chaos audit: fuzz refactor/scale/drain/failure "
+        "interleavings and assert the lifecycle invariants",
+    )
+    audit.add_argument(
+        "--seeds", type=int, default=10, help="seeds per system (default 10)"
+    )
+    audit.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        help="systems to audit (default: FlexPipe and every baseline)",
+    )
+    audit.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="traffic/chaos window per case in simulated seconds",
+    )
     trace = sub.add_parser("trace", help="synthesise / inspect Azure-style traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     synth = trace_sub.add_parser("synth", help="write a synthetic trace CSV")
@@ -372,6 +447,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         print(_run_report(args))
         return 0
+    if args.command == "audit":
+        return _run_audit(args)
     if args.command == "trace":
         print(_run_trace(args))
         return 0

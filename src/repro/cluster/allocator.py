@@ -27,6 +27,25 @@ class AllocationError(RuntimeError):
     """Raised when an allocation request cannot be satisfied."""
 
 
+# Smallest batch memory-aware degradation will fall back to before giving
+# up: deployment and inflight refactoring share this policy, so a degraded
+# replica's effective batch never depends on which path created its chain.
+DEGRADE_FLOOR = 8
+
+
+def degrade_until_fit(batch, attempt, *, floor: int = DEGRADE_FLOOR):
+    """Run ``attempt(batch)``, halving the batch on :class:`AllocationError`
+    until it fits; at the floor the error propagates.  Returns
+    ``(batch, result)`` with the batch that actually fit."""
+    while True:
+        try:
+            return batch, attempt(batch)
+        except AllocationError:
+            if batch <= floor:
+                raise
+            batch //= 2
+
+
 @dataclass
 class StageReservation:
     """One stage's memory reservation on one GPU."""
@@ -60,7 +79,7 @@ class GPUAllocator:
         banned = {g.gid for g in exclude}
         out = []
         for gpu in self.cluster.gpus:
-            if gpu.gid in banned:
+            if gpu.gid in banned or gpu.cordoned:
                 continue
             if model is not None and gpu.hosts_model(model):
                 continue  # same-model anti-affinity (hard rule)
@@ -77,6 +96,8 @@ class GPUAllocator:
         allow_same_model: bool = False,
     ) -> StageReservation:
         """Reserve ``nbytes`` for one stage on a specific GPU."""
+        if gpu.cordoned:
+            raise AllocationError(f"{gpu.gid} is cordoned (reclaimed)")
         if not allow_same_model and gpu.hosts_model(model):
             raise AllocationError(
                 f"{gpu.gid} already hosts a stage of {model!r} (anti-affinity)"
@@ -147,6 +168,38 @@ class GPUAllocator:
         reservation.nbytes = nbytes
 
     # ------------------------------------------------------------------
+    def audit_balance(self) -> list[str]:
+        """Cross-check live reservations against the per-GPU books.
+
+        Returns human-readable discrepancies (empty when balanced); the
+        invariant auditor turns these into ``memory-accounting``
+        violations.  Kept here so the accounting contract lives next to
+        the code that maintains it.
+        """
+        problems: list[str] = []
+        # One allocation snapshot per GPU (not per reservation): this
+        # runs on every chaos-audit tick.
+        snapshots: dict[str, dict[str, float]] = {}
+        for res_id, res in self.live.items():
+            if res.released:
+                problems.append(
+                    f"{res_id} is marked released but still tracked live"
+                )
+            allocs = snapshots.get(res.gpu.gid)
+            if allocs is None:
+                allocs = snapshots[res.gpu.gid] = res.gpu.stage_allocations
+            if res_id not in allocs:
+                problems.append(
+                    f"{res_id} ({res.model}) has no backing allocation "
+                    f"on {res.gpu.gid}"
+                )
+            elif abs(allocs[res_id] - res.nbytes) > 1e-6:
+                problems.append(
+                    f"{res_id} bytes mismatch on {res.gpu.gid}: "
+                    f"reservation {res.nbytes}, GPU {allocs[res_id]}"
+                )
+        return problems
+
     def total_reserved(self) -> float:
         return sum(r.nbytes for r in self.live.values())
 

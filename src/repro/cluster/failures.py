@@ -146,6 +146,7 @@ class FailureInjector:
         self.events: list[ReclamationEvent] = []
         self._stopped = False
         self._blocked: dict[str, float] = {}  # gpu id -> blocked nbytes
+        self._block_stamp: dict[str, float] = {}  # gpu id -> active event time
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -168,6 +169,21 @@ class FailureInjector:
             self._reclaim(victim)
         self._schedule_next()
 
+    def inject(self, gpu: GPU | None = None) -> ReclamationEvent | None:
+        """Fire one reclamation immediately (chaos/fuzz entry point).
+
+        Picks a victim by policy when ``gpu`` is not given; GPUs already
+        under reclamation are skipped.  Returns the event, or ``None``
+        when no eligible victim exists.
+        """
+        if gpu is not None and gpu.gid in self._blocked:
+            return None
+        victim = gpu if gpu is not None else self._pick_victim()
+        if victim is None:
+            return None
+        self._reclaim(victim)
+        return self.events[-1]
+
     def _pick_victim(self) -> GPU | None:
         gpus = [g for g in self.cluster.gpus if g.gid not in self._blocked]
         if not gpus:
@@ -184,13 +200,23 @@ class FailureInjector:
         return pool[int(self.rng.integers(len(pool)))]
 
     # ------------------------------------------------------------------
+    def _all_routers(self) -> list:
+        """Every router of the system under test (incl. out-of-band pools
+        like DistServe's decode routers, via ``all_routers``)."""
+        return list(self.system.all_routers().values())
+
     def _replicas_on(self, gpu: GPU) -> list:
-        hit = []
-        for router in self.system.routers.values():
-            for replica in router.replicas:
-                if any(s.reservation.gpu is gpu for s in replica.stages):
-                    hit.append(replica)
-        return hit
+        # Routers only know ACTIVE replicas; ``all_replicas`` also
+        # surfaces LOADING ones, whose reservations already sit on the
+        # victim GPU — without it they would dodge the reclamation and
+        # later activate on a GPU the platform took back.
+        # ``live_reservations`` additionally covers superseded (retired)
+        # chains still draining in-flight jobs on the victim.
+        return [
+            replica
+            for replica in self.system.all_replicas()
+            if any(res.gpu is gpu for res in replica.live_reservations())
+        ]
 
     def _reclaim(self, gpu: GPU) -> None:
         downtime = float(self.rng.exponential(self.policy.downtime_mean))
@@ -210,21 +236,54 @@ class FailureInjector:
         # no new batches) and their reservations release through the normal
         # teardown path.
         for replica in victims:
-            self.system.routers[replica.profile.spec.name].remove(replica)
+            for router in self._all_routers():
+                router.remove(replica)
             replica.drain()
-        # Block whatever memory is (or becomes) free so reallocation cannot
-        # land on the reclaimed GPU during the downtime window.
-        blocked = gpu.free_memory
-        if blocked > 0:
-            gpu.reserve(f"reclaimed/{event.time:.3f}", blocked)
-            self._blocked[gpu.gid] = blocked
-            self.sim.schedule(downtime, self._restore, gpu, event.time)
+        # Cordon the GPU (the allocator refuses serving placements on it,
+        # with no timing window) and block whatever memory is — or
+        # becomes — free: the first top-up absorbs today's free bytes
+        # (possibly none on a packed GPU) and the periodic chain swallows
+        # memory the draining victims release while the downtime runs.
+        gpu.cordoned = True
+        self._blocked[gpu.gid] = 0.0
+        self._block_stamp[gpu.gid] = event.time
+        self._top_up(gpu, event.time)
+        self.sim.schedule(downtime, self._restore, gpu, event.time)
         if self.tracker is not None:
             self.tracker.poll()
 
+    _TOP_UP_INTERVAL = 1.0  # how often a blocked GPU re-absorbs freed bytes
+
+    def _top_up(self, gpu: GPU, stamp: float) -> None:
+        # The stamp check retires a stale chain — after restore, or when
+        # its window overlaps a *re*-reclamation of the same GPU.
+        if self._block_stamp.get(gpu.gid) != stamp:
+            return
+        # Absorb a hair less than the free bytes: at the 10^11-byte scale
+        # ``(blocked + free) - blocked`` can round a few float ulps above
+        # ``free``, which would trip resize()'s over-commit tolerance.
+        grab = gpu.free_memory - 1e-3
+        if grab > 0:
+            # The blocker allocation is created lazily at the first
+            # positive absorption, so a packed GPU (free <= 0, possibly a
+            # float-negative hair at this scale) never risks a rejected
+            # zero-byte reserve.
+            alloc_id = f"reclaimed/{stamp:.3f}"
+            total = self._blocked[gpu.gid] + grab
+            if alloc_id in gpu.stage_allocations:
+                gpu.resize(alloc_id, total)
+            else:
+                gpu.reserve(alloc_id, grab)
+            self._blocked[gpu.gid] = total
+        self.sim.schedule(self._TOP_UP_INTERVAL, self._top_up, gpu, stamp)
+
     def _restore(self, gpu: GPU, stamp: float) -> None:
-        gpu.release(f"reclaimed/{stamp:.3f}")
+        alloc_id = f"reclaimed/{stamp:.3f}"
+        if alloc_id in gpu.stage_allocations:
+            gpu.release(alloc_id)
+        gpu.cordoned = False
         self._blocked.pop(gpu.gid, None)
+        self._block_stamp.pop(gpu.gid, None)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:

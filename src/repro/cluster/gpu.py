@@ -41,6 +41,11 @@ class GPU:
         self.background_mem = 0.0
         self.background_sm_request = 0.0  # subscription, can exceed 1.0
         self.background_sm_usage = 0.0  # actual usage, <= 1.0
+        # Cordoned: reclaimed by the platform — the allocator refuses new
+        # serving placements here regardless of free bytes, closing the
+        # window between a victim freeing memory and the blocker
+        # absorbing it.
+        self.cordoned = False
         # Serving load: allocation-id -> bytes.
         self._stage_mem: dict[str, float] = {}
         # Models with a stage resident here (anti-affinity rule, §6.2).
@@ -55,6 +60,11 @@ class GPU:
     @property
     def serving_mem(self) -> float:
         return sum(self._stage_mem.values())
+
+    @property
+    def stage_allocations(self) -> dict[str, float]:
+        """Snapshot of live stage allocations (id -> bytes), for auditing."""
+        return dict(self._stage_mem)
 
     @property
     def used_memory(self) -> float:

@@ -11,13 +11,17 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
-from repro.cluster.allocator import AllocationError, StageReservation
+from repro.cluster.allocator import (
+    AllocationError,
+    StageReservation,
+    degrade_until_fit,
+)
 from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector, ScalingEvent
 from repro.models.profiler import ModelProfile
 from repro.partitioning.plan import PartitionPlan
 from repro.pipeline.batching import BatcherConfig
-from repro.pipeline.replica import PipelineReplica
+from repro.pipeline.replica import PipelineReplica, ReplicaState
 from repro.pipeline.router import ModelRouter
 from repro.scaling.coordinator import ScalingCoordinator
 from repro.scaling.warm_cache import HostParamCache
@@ -61,6 +65,14 @@ class ReplicaFactory:
         self.warm_startup_factor = warm_startup_factor
         self.deployed = 0
         self.released = 0
+        # Every replica this factory ever created, in deployment order.
+        # The registry is what lets shutdown, failure injection and the
+        # invariant auditor reach replicas that never activated (still
+        # LOADING) or already left their router (DRAINING) — both
+        # invisible to the routers.  RELEASED entries are retained on
+        # purpose: the auditor replays their full lifecycle at quiesce,
+        # and a simulation's replica population is bounded.
+        self.replicas: list[PipelineReplica] = []
 
     # ------------------------------------------------------------------
     def deploy(
@@ -86,18 +98,11 @@ class ReplicaFactory:
         # Memory-aware degradation: a fragmented cluster may not offer the
         # full KV reservation for the target batch — halve the batch (and
         # with it the KV pool) until the plan fits, rather than failing.
-        reservations = None
-        while True:
-            mems = plan.memory_per_stage(batch, profile.spec.kv_bytes_per_request)
-            try:
-                reservations = self.ctx.allocator.allocate_stages(
-                    model, mems, scorer=scorer
-                )
-                break
-            except AllocationError:
-                if batch <= 8:
-                    raise
-                batch //= 2
+        def attempt(b: int) -> list[StageReservation]:
+            mems = plan.memory_per_stage(b, profile.spec.kv_bytes_per_request)
+            return self.ctx.allocator.allocate_stages(model, mems, scorer=scorer)
+
+        batch, reservations = degrade_until_fit(batch, attempt)
         router = self.routers[model]
         replica = PipelineReplica(
             sim,
@@ -119,7 +124,12 @@ class ReplicaFactory:
             )
         self._start_loads(replica, profile, plan, reservations, wait_time, event_kind)
         self.deployed += 1
+        self.replicas.append(replica)
         return replica
+
+    def live_replicas(self) -> list[PipelineReplica]:
+        """Replicas holding resources (anything not yet RELEASED)."""
+        return [r for r in self.replicas if r.state is not ReplicaState.RELEASED]
 
     # ------------------------------------------------------------------
     def _start_loads(
@@ -135,6 +145,11 @@ class ReplicaFactory:
         state = {"remaining": 0, "warm_bytes": 0.0, "cold_bytes": 0.0}
 
         def finish(warm: bool) -> None:
+            if replica.state is not ReplicaState.LOADING:
+                # Cancelled while loading (drained by scale-in, reclamation
+                # or shutdown): the teardown path already released the
+                # reservations — activating now would serve from freed GPUs.
+                return
             replica.activate()
             self.metrics.on_event(
                 ScalingEvent(

@@ -73,6 +73,34 @@ class ServingSystem(abc.ABC):
         self.metrics.on_complete(request)
 
     # ------------------------------------------------------------------
+    def all_routers(self) -> dict[str, ModelRouter]:
+        """Every router of this system, keyed by pool name.
+
+        Systems with out-of-band pools (e.g. DistServe's decode routers)
+        override this; failure injection, auditing and backlog signals
+        all discover routers through it.
+        """
+        return dict(self.routers)
+
+    def all_replicas(self) -> list:
+        """Every replica this system ever created, id-deduplicated.
+
+        Unions the factory registry (which alone knows LOADING and
+        already-drained replicas) with router entries (which alone know
+        replicas created outside a factory, e.g. in tests).  Failure
+        injection and the invariant auditor both discover through this.
+        """
+        seen: dict[int, object] = {}
+        factory = getattr(self, "factory", None)
+        if factory is not None:
+            for replica in factory.replicas:
+                seen[id(replica)] = replica
+        for router in self.all_routers().values():
+            for replica in router.replicas:
+                seen.setdefault(id(replica), replica)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
     def max_cv(self) -> float:
         """Largest per-model inter-arrival CV, cached per refresh interval."""
         now = self.sim.now
@@ -114,8 +142,18 @@ class ServingSystem(abc.ABC):
         )
 
     def shutdown(self) -> None:
-        """Stop periodic processes (subclasses extend)."""
+        """Stop periodic processes and drain every live replica.
+
+        Draining (not dropping) preserves in-flight work; once the
+        simulator quiesces, every :class:`StageReservation` must be back
+        with the allocator — the auditor's no-leak invariant.  Subclasses
+        extend this to stop their own control loops.
+        """
         self._sampler.stop()
+        factory = getattr(self, "factory", None)
+        if factory is not None:
+            for replica in factory.live_replicas():
+                factory.release(replica)
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

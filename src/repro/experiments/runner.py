@@ -294,6 +294,18 @@ class ExperimentRunner:
     def run_task(self, task: RunTask) -> RunResult:
         return self.run_tasks([task])[0]
 
+    def map(self, fn: Callable, items: list) -> list:
+        """Fan an arbitrary pure function over items on this runner's pool.
+
+        Generic counterpart of :meth:`run_tasks` for work that is not a
+        figure cell (e.g. chaos-audit cases): order-stable, no caching.
+        ``fn`` and every item must be picklable when ``jobs > 1``.
+        """
+        items = list(items)
+        if self.jobs > 1 and len(items) > 1:
+            return list(self._get_pool().map(fn, items))
+        return [fn(item) for item in items]
+
 
 def make_runner(
     runner: ExperimentRunner | None = None,

@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.baselines import (
     AlpaServeSystem,
+    DistServeSystem,
     MuxServeSystem,
     ServerlessLLMSystem,
     TetrisSystem,
@@ -155,6 +156,28 @@ def make_tetris(ctx: ServingContext, cfg: ExperimentConfig, **overrides) -> Tetr
     )
 
 
+def make_distserve(
+    ctx: ServingContext, cfg: ExperimentConfig, **overrides
+) -> DistServeSystem:
+    initial = overrides.pop(
+        "initial_replicas",
+        replicas_for_fraction(ctx, cfg, 4, STATIC_FRACTION),
+    )
+    overrides.setdefault("batch_cap", cfg.batch_cap)
+    return DistServeSystem(
+        ctx,
+        cfg.specs,
+        initial_replicas=initial,
+        prompt_tokens=cfg.prompt_median,
+        output_tokens=cfg.output_median,
+        slo_deadline=cfg.slo_latency,
+        **overrides,
+    )
+
+
+# The registry the paper-figure sweeps iterate.  DistServe is kept out of
+# it (the paper's headline comparisons exclude it) but is exercised by
+# the chaos audit via ``repro.validation.chaos.CHAOS_SYSTEMS``.
 SYSTEM_FACTORIES: dict[str, Callable[..., ServingSystem]] = {
     "FlexPipe": make_flexpipe,
     "AlpaServe": make_alpaserve,

@@ -38,6 +38,17 @@ class ReplicaState(enum.Enum):
     RELEASED = "released"
 
 
+# Legal state-machine moves.  LOADING -> DRAINING is the cancellation path
+# (a replica reclaimed or shut down before its parameters finished
+# loading); everything else is the normal lifecycle.
+ALLOWED_TRANSITIONS: dict[ReplicaState, tuple[ReplicaState, ...]] = {
+    ReplicaState.LOADING: (ReplicaState.ACTIVE, ReplicaState.DRAINING),
+    ReplicaState.ACTIVE: (ReplicaState.DRAINING,),
+    ReplicaState.DRAINING: (ReplicaState.RELEASED,),
+    ReplicaState.RELEASED: (),
+}
+
+
 class PipelineReplica:
     """Executes batches over a chain of :class:`StageRuntime` stages."""
 
@@ -65,6 +76,13 @@ class PipelineReplica:
         self._set_plan(plan)
         self.name = name or f"replica-{next(_job_ids)}"
         self.state = ReplicaState.LOADING
+        # Lifecycle audit trail: every state change is recorded, and any
+        # accounting irregularity lands in ``anomalies`` instead of being
+        # silently absorbed (the invariant auditor asserts both).
+        self.state_history: list[tuple[float, ReplicaState]] = [
+            (sim.now, ReplicaState.LOADING)
+        ]
+        self.anomalies: list[str] = []
         self.on_request_complete = on_request_complete
         self.on_active = on_active
         self.on_released = on_released
@@ -78,12 +96,14 @@ class PipelineReplica:
         self.activated_at: float | None = None
         self.inflight_jobs = 0
         self.inflight_requests = 0
+        self.accepted_requests = 0
         self.completed_requests = 0
         self._retired_stages: list[StageRuntime] = []
         # Jobs outstanding per stage chain (keyed by chain identity), so a
         # superseded chain's GPUs release only after its last job finishes.
         self._chain_jobs: dict[int, int] = {}
         self._chains: dict[int, list[StageRuntime]] = {}
+        self._retired_chain_keys: set[int] = set()
         self.on_stage_retired: Callable[[StageRuntime], None] | None = None
         self.reconfig_count = 0
 
@@ -123,11 +143,22 @@ class PipelineReplica:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _transition(self, new_state: ReplicaState) -> None:
+        """Move to ``new_state``, recording the step and flagging illegal
+        moves as anomalies (the auditor's state-machine invariant)."""
+        if new_state not in ALLOWED_TRANSITIONS[self.state]:
+            self.anomalies.append(
+                f"illegal transition {self.state.value} -> {new_state.value} "
+                f"at t={self.sim.now:.6f}"
+            )
+        self.state = new_state
+        self.state_history.append((self.sim.now, new_state))
+
     def activate(self) -> None:
         """Mark loading finished; the router may now dispatch to us."""
         if self.state is not ReplicaState.LOADING:
             raise RuntimeError(f"activate() in state {self.state}")
-        self.state = ReplicaState.ACTIVE
+        self._transition(ReplicaState.ACTIVE)
         self.activated_at = self.sim.now
         if self.on_active is not None:
             self.on_active(self)
@@ -136,7 +167,7 @@ class PipelineReplica:
         """Stop accepting work; release resources when in-flight work ends."""
         if self.state in (ReplicaState.DRAINING, ReplicaState.RELEASED):
             return
-        self.state = ReplicaState.DRAINING
+        self._transition(ReplicaState.DRAINING)
         self._maybe_release()
 
     def _maybe_release(self) -> None:
@@ -145,7 +176,7 @@ class PipelineReplica:
             and self.inflight_jobs == 0
             and len(self.batcher) == 0
         ):
-            self.state = ReplicaState.RELEASED
+            self._transition(ReplicaState.RELEASED)
             if self.on_released is not None:
                 self.on_released(self)
 
@@ -157,6 +188,17 @@ class PipelineReplica:
         return self.state is ReplicaState.ACTIVE
 
     @property
+    def max_batch(self) -> int:
+        """The batch size this replica actually serves at.
+
+        Deployment under fragmentation (and degraded refactor transitions)
+        may halve the batch below ``plan.max_batch``; routing and capacity
+        signals must normalise by this effective value, not the plan's
+        optimum, or degraded replicas get systematically over-loaded.
+        """
+        return self.batcher.config.max_batch
+
+    @property
     def queue_length(self) -> int:
         """Requests waiting or executing here (JSQ routing signal)."""
         return len(self.batcher) + self.inflight_requests
@@ -164,6 +206,7 @@ class PipelineReplica:
     def submit(self, request: Request) -> None:
         if not self.accepting:
             raise RuntimeError(f"submit() to {self.name} in state {self.state}")
+        self.accepted_requests += 1
         self.batcher.enqueue(request)
 
     def _can_dispatch(self) -> bool:
@@ -242,10 +285,24 @@ class PipelineReplica:
         self.inflight_requests -= len(job.requests)
         self.completed_requests += len(job.requests)
         chain_key = id(stages)
-        remaining = self._chain_jobs.get(chain_key, 1) - 1
-        self._chain_jobs[chain_key] = remaining
-        if remaining == 0 and stages[0].retired:
-            self._retire_chain(chain_key)
+        tracked = self._chain_jobs.get(chain_key)
+        if tracked is None or tracked <= 0:
+            # A completing job must be counted against its chain; a missing
+            # or zero entry means the chain retired (or was never recorded)
+            # while work was still in flight.  Record the one anomaly and
+            # stop — decrementing would go negative, and attempting to
+            # retire an unknown chain would just log the same defect twice.
+            self.anomalies.append(
+                f"job {job.jid} completed on untracked chain "
+                f"(count={tracked!r}) at t={now:.6f}"
+            )
+            if tracked is not None:
+                self._chain_jobs[chain_key] = 0
+        else:
+            remaining = tracked - 1
+            self._chain_jobs[chain_key] = remaining
+            if remaining == 0 and stages[0].retired:
+                self._retire_chain(chain_key)
         self._maybe_release()
 
     # ------------------------------------------------------------------
@@ -264,8 +321,12 @@ class PipelineReplica:
         ``on_stage_retired`` once its last in-flight job completes (the
         executor then releases or trims its reservation).
         """
-        if self.state is ReplicaState.RELEASED:
-            raise RuntimeError("swap_stages on a released replica")
+        if self.state in (ReplicaState.DRAINING, ReplicaState.RELEASED):
+            # A dying replica must not acquire a fresh chain: the new
+            # reservations would sit on a replica that stops serving.  The
+            # refactoring executor releases the prepared reservations
+            # instead of swapping (the refactor-vs-drain race).
+            raise RuntimeError(f"swap_stages on a {self.state.value} replica")
         old_stages = self.stages
         for stage in old_stages:
             stage.retired = True
@@ -288,7 +349,12 @@ class PipelineReplica:
         stages = self._chains.pop(chain_key, None)
         self._chain_jobs.pop(chain_key, None)
         if stages is None:
+            if chain_key in self._retired_chain_keys:
+                self.anomalies.append(
+                    f"chain {chain_key} retired twice at t={self.sim.now:.6f}"
+                )
             return
+        self._retired_chain_keys.add(chain_key)
         for stage in stages:
             if stage in self._retired_stages:
                 continue
@@ -302,6 +368,21 @@ class PipelineReplica:
     @property
     def n_stages(self) -> int:
         return self.plan.n_stages
+
+    def live_reservations(self) -> list[StageReservation]:
+        """Every unreleased reservation this replica still holds: the
+        current chain plus superseded chains whose in-flight jobs have
+        not drained yet (reclamation and audits scan through this)."""
+        out: list[StageReservation] = []
+        seen: set[int] = set()
+        chains = (self.stages, *self._chains.values(), self._retired_stages)
+        for stage in (s for chain in chains for s in chain):
+            reservation = stage.reservation
+            if id(reservation) in seen or reservation.released:
+                continue
+            seen.add(id(reservation))
+            out.append(reservation)
+        return out
 
     def kv_bytes_in_flight(self) -> float:
         """Approximate KV resident for requests currently in the pipeline."""

@@ -25,6 +25,7 @@ class ModelRouter:
         self.model = model
         self.replicas: list[PipelineReplica] = []
         self.pending: deque[Request] = deque()
+        self.submitted = 0
         self.routed = 0
         self.gateway_updates = 0
 
@@ -43,6 +44,7 @@ class ModelRouter:
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
+        self.submitted += 1
         target = self._pick()
         if target is None:
             self.pending.append(request)
@@ -54,7 +56,11 @@ class ModelRouter:
         active = [r for r in self.replicas if r.accepting]
         if not active:
             return None
-        return min(active, key=lambda r: (r.queue_length / max(r.plan.max_batch, 1)))
+        # Normalise queue depth by the replica's *effective* batch: a
+        # replica deployed degraded (halved batch under fragmentation)
+        # serves at a fraction of its plan's capacity and must attract
+        # proportionally less load.
+        return min(active, key=lambda r: (r.queue_length / max(r.max_batch, 1)))
 
     def _drain_pending(self) -> None:
         while self.pending:

@@ -24,7 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.cluster.allocator import AllocationError, StageReservation
+from repro.cluster.allocator import (
+    AllocationError,
+    StageReservation,
+    degrade_until_fit,
+)
 from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector, ScalingEvent
 from repro.models.profiler import ModelProfile
@@ -45,6 +49,9 @@ class TransitionPlan:
     kv_bytes: float
     reused_gpus: int
     fresh_gpus: int
+    # Batch the target chain was sized for; under memory degradation this
+    # is below the rung's max_batch and becomes the post-switch batch cap.
+    batch: int
 
     @property
     def duration(self) -> float:
@@ -107,14 +114,47 @@ class RefactoringExecutor:
     def _prepare(
         self, replica: PipelineReplica, target_stages: int
     ) -> TransitionPlan:
-        sim = self.ctx.sim
-        cm = self.ctx.cost_model
         mover = self.ctx.data_mover
-        model = self.profile.spec.name
         old_rung = self.ladder.rung(replica.plan.n_stages)
         new_rung = self.ladder.rung(target_stages)
         new_plan = new_rung.plan
         batch = max(min(new_plan.max_batch, self.batch_cap or new_plan.max_batch), 1)
+        # Memory-aware degradation (same policy as ReplicaFactory.deploy):
+        # when the fragmented cluster cannot host the target rung at the
+        # full batch's KV reservation, halve the batch until it fits
+        # rather than abandoning the transition outright.
+        batch, (reservations, load_duration, kv_bytes_moving, reused, fresh) = (
+            degrade_until_fit(
+                batch,
+                lambda b: self._reserve_target(replica, old_rung, new_rung, b),
+            )
+        )
+
+        kv_plan = mover.plan(
+            kv_bytes_moving, same_server=False, src_rdma=True, dst_rdma=True
+        )
+        self._exercise_consistency_protocol(replica)
+        return TransitionPlan(
+            target_stages=target_stages,
+            reservations=reservations,
+            load_duration=load_duration,
+            kv_duration=kv_plan.duration if kv_bytes_moving > 0 else 0.0,
+            kv_bytes=kv_bytes_moving,
+            reused_gpus=reused,
+            fresh_gpus=fresh,
+            batch=batch,
+        )
+
+    def _reserve_target(
+        self,
+        replica: PipelineReplica,
+        old_rung,
+        new_rung,
+        batch: int,
+    ) -> tuple[list[StageReservation], float, float, int, int]:
+        """Reserve the target chain at ``batch``; all-or-nothing."""
+        model = self.profile.spec.name
+        new_plan = new_rung.plan
         mems = new_plan.memory_per_stage(
             batch, self.profile.spec.kv_bytes_per_request
         )
@@ -179,20 +219,7 @@ class RefactoringExecutor:
             for reservation in reservations:
                 self.ctx.allocator.release(reservation)
             raise
-
-        kv_plan = mover.plan(
-            kv_bytes_moving, same_server=False, src_rdma=True, dst_rdma=True
-        )
-        self._exercise_consistency_protocol(replica)
-        return TransitionPlan(
-            target_stages=target_stages,
-            reservations=reservations,
-            load_duration=load_duration,
-            kv_duration=kv_plan.duration if kv_bytes_moving > 0 else 0.0,
-            kv_bytes=kv_bytes_moving,
-            reused_gpus=reused,
-            fresh_gpus=fresh,
-        )
+        return reservations, load_duration, kv_bytes_moving, reused, fresh
 
     def _stage_load_time(
         self,
@@ -262,7 +289,16 @@ class RefactoringExecutor:
         sim = self.ctx.sim
         model = self.profile.spec.name
         self._inflight.discard(replica.name)
-        if replica.state is ReplicaState.RELEASED:
+        if replica.state in (ReplicaState.DRAINING, ReplicaState.RELEASED) or any(
+            r.gpu.cordoned for r in plan.reservations
+        ):
+            # Two races resolve the same way.  Refactor-vs-drain: the
+            # replica started dying during the preparation window, so a
+            # fresh chain would sit on a replica that stops serving.
+            # Refactor-vs-reclamation: the platform reclaimed (cordoned) a
+            # GPU holding a prepared stage, so swapping would serve from a
+            # reclaimed device for its whole downtime.  Either way, give
+            # the prepared reservations straight back instead of swapping.
             for reservation in plan.reservations:
                 if not reservation.released:
                     self.ctx.allocator.release(reservation)
@@ -286,7 +322,10 @@ class RefactoringExecutor:
             self.ctx.allocator.release(reservation)
 
         replica.on_stage_retired = retire
-        replica.swap_stages(new_plan, plan.reservations, batch_cap=self.batch_cap)
+        # The prepared chain only holds KV for ``plan.batch`` requests; a
+        # degraded transition therefore also caps the batcher until the
+        # next transition re-sizes it.
+        replica.swap_stages(new_plan, plan.reservations, batch_cap=plan.batch)
         self.transitions_completed += 1
         self.metrics.on_event(
             ScalingEvent(
@@ -297,7 +336,10 @@ class RefactoringExecutor:
                     f"(reuse {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
                     f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
                 ),
-                init_time=plan.duration + self.switch_pause,
+                # Full client-visible transition latency: the decision,
+                # the asynchronous preparation window, and the switch
+                # pause — matching what ``refactor`` actually scheduled.
+                init_time=self.decision_latency + plan.duration + self.switch_pause,
                 warm=plan.fresh_gpus == 0,
             )
         )

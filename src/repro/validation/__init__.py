@@ -1,0 +1,39 @@
+"""Lifecycle-invariant validation: the auditor and the chaos fuzz harness.
+
+FlexPipe's central claim (§6, Fig. 6) is that inflight refactoring drops
+no request and leaks no resource while stage chains are swapped live.
+This package turns that claim into machine-checked conservation laws:
+
+* :class:`InvariantAuditor` — checks the invariants over a live serving
+  system (cheap subset mid-run, the full set at simulation quiesce);
+* :class:`ChaosSchedule` / :func:`run_chaos_case` — seeded random
+  interleavings of refactor / scale-out / scale-in / drain / failure
+  injection against random workloads, asserting the auditor after each
+  run (``repro audit --seeds N`` fans cases out via the parallel runner).
+"""
+
+from repro.validation.auditor import (
+    InvariantAuditor,
+    InvariantViolationError,
+    Violation,
+)
+from repro.validation.chaos import (
+    CHAOS_SYSTEMS,
+    ChaosCase,
+    ChaosReport,
+    ChaosSchedule,
+    audit_seeds,
+    run_chaos_case,
+)
+
+__all__ = [
+    "CHAOS_SYSTEMS",
+    "ChaosCase",
+    "ChaosReport",
+    "ChaosSchedule",
+    "InvariantAuditor",
+    "InvariantViolationError",
+    "Violation",
+    "audit_seeds",
+    "run_chaos_case",
+]

@@ -1,0 +1,363 @@
+"""Conservation-law auditor for serving-system lifecycles.
+
+The audited invariants (the checklist FlexPipe's no-drop/no-leak claim
+reduces to):
+
+``memory-accounting``
+    Every live :class:`StageReservation` is backed by a matching
+    allocation on its GPU (same id, same bytes), and no GPU's serving +
+    background occupancy exceeds its capacity.
+``replica-state-machine``
+    Replicas only move LOADING -> ACTIVE -> DRAINING -> RELEASED (with
+    LOADING -> DRAINING as the cancel-during-load path).
+``replica-anomalies``
+    No replica recorded an accounting irregularity (negative chain
+    counters, double chain retirement, illegal transitions).
+``chain-accounting``
+    At quiesce no chain holds phantom in-flight jobs, and released
+    replicas hold no unreleased reservation on any chain, current or
+    retired (retired chains release exactly once).
+``router-reconciliation``
+    Per router: ``submitted == routed + pending``; across layers, total
+    routed equals total accepted by replicas.
+``replica-conservation``
+    Per replica: everything it accepted is completed or still queued/in
+    flight — a replica cannot silently lose a routed request.
+``router-hygiene``
+    No router still lists a RELEASED replica (zombie gateway entries).
+``request-conservation`` / ``completion-uniqueness``
+    Every generated request is rejected at the admission gate, completed
+    exactly once, or still resident in an accounted queue — none lost.
+``allocator-empty``
+    After shutdown + quiesce the allocator holds no live reservation and
+    no GPU carries a stage allocation (no leaked reservations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.pipeline.replica import (
+    ALLOWED_TRANSITIONS,
+    PipelineReplica,
+    ReplicaState,
+)
+
+# Capacity comparisons happen at the 10^10-byte scale, where one float64
+# ulp is ~1.5e-5 bytes — an exactly-full GPU (the reclamation blocker
+# reserves precisely free_memory) can overshoot a tighter epsilon.
+_CAPACITY_EPS = 1e-3
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough detail to reproduce it."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[{self.invariant}] {self.detail}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :meth:`InvariantAuditor.assert_clean`."""
+
+    def __init__(self, violations: list[Violation]):
+        self.violations = violations
+        lines = "\n".join(f"  {v}" for v in violations)
+        super().__init__(f"{len(violations)} invariant violation(s):\n{lines}")
+
+
+class InvariantAuditor:
+    """Checks conservation laws over one serving system.
+
+    ``generators`` (workload generators) and ``gates`` (admission gates)
+    are optional; when given, request conservation is checked against the
+    true generated population rather than the system's own offered count.
+    """
+
+    def __init__(self, system, *, generators: Iterable = (), gates: Iterable = ()):
+        self.system = system
+        self.generators = list(generators)
+        self.gates = list(gates)
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def routers(self) -> dict[str, object]:
+        """All routers, including phase-disaggregated pools (DistServe)."""
+        return self.system.all_routers()
+
+    def replicas(self) -> list[PipelineReplica]:
+        """Every replica the system ever created."""
+        return self.system.all_replicas()
+
+    @property
+    def _allocator(self):
+        return self.system.ctx.allocator
+
+    @property
+    def _cluster(self):
+        return self.system.ctx.cluster
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def audit_running(self) -> list[Violation]:
+        """The invariants that must hold at *any* instant mid-run.
+
+        Illegal transitions are caught here through the anomaly log the
+        replica records at the moment they happen; the full
+        state-history replay is deferred to quiesce, keeping the per-tick
+        cost linear in live state rather than in run length.
+        """
+        out: list[Violation] = []
+        out += self._check_memory_accounting()
+        out += self._check_anomalies()
+        return out
+
+    def audit_quiesce(self, *, expect_empty_allocator: bool = True) -> list[Violation]:
+        """The full set, valid once the simulator has gone idle.
+
+        ``expect_empty_allocator`` should be True when the system was
+        shut down before quiescing (the no-leak invariant); pass False to
+        audit a run that intentionally leaves replicas serving.
+        """
+        out = self.audit_running()
+        out += self._check_state_machines()
+        out += self._check_replica_conservation()
+        out += self._check_chain_accounting()
+        out += self._check_router_reconciliation()
+        out += self._check_router_hygiene()
+        out += self._check_request_conservation()
+        if expect_empty_allocator:
+            out += self._check_allocator_empty()
+        return out
+
+    def assert_clean(self, violations: list[Violation] | None = None) -> None:
+        found = self.audit_quiesce() if violations is None else violations
+        if found:
+            raise InvariantViolationError(found)
+
+    # ------------------------------------------------------------------
+    # Individual invariants
+    # ------------------------------------------------------------------
+    def _check_memory_accounting(self) -> list[Violation]:
+        out = [
+            Violation("memory-accounting", problem)
+            for problem in self._allocator.audit_balance()
+        ]
+        for gpu in self._cluster.gpus:
+            if gpu.used_memory > gpu.spec.memory + _CAPACITY_EPS:
+                out.append(
+                    Violation(
+                        "memory-accounting",
+                        f"{gpu.gid} over capacity: used {gpu.used_memory:.0f} "
+                        f"of {gpu.spec.memory:.0f} bytes",
+                    )
+                )
+        return out
+
+    def _check_state_machines(self) -> list[Violation]:
+        out: list[Violation] = []
+        for replica in self.replicas():
+            history = replica.state_history
+            if not history or history[0][1] is not ReplicaState.LOADING:
+                out.append(
+                    Violation(
+                        "replica-state-machine",
+                        f"{replica.name} did not start LOADING: {history!r}",
+                    )
+                )
+                continue
+            for (_, prev), (t, cur) in zip(history, history[1:]):
+                if cur not in ALLOWED_TRANSITIONS[prev]:
+                    out.append(
+                        Violation(
+                            "replica-state-machine",
+                            f"{replica.name} moved {prev.value} -> {cur.value} "
+                            f"at t={t:.6f}",
+                        )
+                    )
+            if replica.state is not history[-1][1]:
+                out.append(
+                    Violation(
+                        "replica-state-machine",
+                        f"{replica.name} state {replica.state.value} disagrees "
+                        f"with history tail {history[-1][1].value}",
+                    )
+                )
+        return out
+
+    def _check_anomalies(self) -> list[Violation]:
+        return [
+            Violation("replica-anomalies", f"{replica.name}: {anomaly}")
+            for replica in self.replicas()
+            for anomaly in replica.anomalies
+        ]
+
+    def _check_replica_conservation(self) -> list[Violation]:
+        """Per replica: everything it accepted is completed or queued."""
+        out: list[Violation] = []
+        for replica in self.replicas():
+            accounted = (
+                replica.completed_requests
+                + len(replica.batcher)
+                + replica.inflight_requests
+            )
+            if replica.accepted_requests != accounted:
+                out.append(
+                    Violation(
+                        "replica-conservation",
+                        f"{replica.name} accepted {replica.accepted_requests} "
+                        f"request(s) but accounts for {accounted} "
+                        f"(completed {replica.completed_requests}, queued "
+                        f"{len(replica.batcher)}, in flight "
+                        f"{replica.inflight_requests})",
+                    )
+                )
+        return out
+
+    def _check_chain_accounting(self) -> list[Violation]:
+        out: list[Violation] = []
+        for replica in self.replicas():
+            for chain_key, count in replica._chain_jobs.items():
+                if count != 0:
+                    out.append(
+                        Violation(
+                            "chain-accounting",
+                            f"{replica.name} chain {chain_key} still counts "
+                            f"{count} in-flight job(s) at quiesce",
+                        )
+                    )
+            if replica.inflight_jobs != 0 or replica.inflight_requests != 0:
+                out.append(
+                    Violation(
+                        "chain-accounting",
+                        f"{replica.name} reports {replica.inflight_jobs} jobs/"
+                        f"{replica.inflight_requests} requests in flight at quiesce",
+                    )
+                )
+            if replica.state is ReplicaState.RELEASED:
+                held = [
+                    stage.reservation.res_id
+                    for stage in (*replica.stages, *replica._retired_stages)
+                    if not stage.reservation.released
+                ]
+                if held:
+                    out.append(
+                        Violation(
+                            "chain-accounting",
+                            f"released {replica.name} still holds {held}",
+                        )
+                    )
+        return out
+
+    def _check_router_reconciliation(self) -> list[Violation]:
+        out: list[Violation] = []
+        total_routed = 0
+        for name, router in self.routers().items():
+            total_routed += router.routed
+            if router.submitted != router.routed + len(router.pending):
+                out.append(
+                    Violation(
+                        "router-reconciliation",
+                        f"router {name}: submitted {router.submitted} != "
+                        f"routed {router.routed} + pending {len(router.pending)}",
+                    )
+                )
+        # Cross-layer: everything the gateways routed must have been
+        # accepted by some replica — a drop between router and replica
+        # cannot hide behind the routers' own internally-consistent
+        # counters.
+        total_accepted = sum(r.accepted_requests for r in self.replicas())
+        if total_routed != total_accepted:
+            out.append(
+                Violation(
+                    "router-reconciliation",
+                    f"routers routed {total_routed} request(s) but replicas "
+                    f"accepted {total_accepted}",
+                )
+            )
+        return out
+
+    def _check_router_hygiene(self) -> list[Violation]:
+        out: list[Violation] = []
+        for name, router in self.routers().items():
+            zombies = [
+                r.name for r in router.replicas if r.state is ReplicaState.RELEASED
+            ]
+            if zombies:
+                out.append(
+                    Violation(
+                        "router-hygiene",
+                        f"router {name} still lists released replica(s) {zombies}",
+                    )
+                )
+        return out
+
+    def _check_request_conservation(self) -> list[Violation]:
+        out: list[Violation] = []
+        records = self.system.metrics.records
+        completed_ids: set[int] = set()
+        for request in records:
+            if request.rid in completed_ids:
+                out.append(
+                    Violation(
+                        "completion-uniqueness",
+                        f"request {request.rid} completed more than once",
+                    )
+                )
+            completed_ids.add(request.rid)
+        shed = sum(gate.stats.rejected for gate in self.gates)
+        if self.generators:
+            admitted = sum(g.offered for g in self.generators) - shed
+        else:
+            admitted = self.system.metrics.offered
+        resident = sum(len(r.pending) for r in self.routers().values()) + sum(
+            len(replica.batcher) + replica.inflight_requests
+            for replica in self.replicas()
+        )
+        if len(completed_ids) + resident != admitted:
+            out.append(
+                Violation(
+                    "request-conservation",
+                    f"admitted {admitted} != completed {len(completed_ids)} "
+                    f"+ resident {resident} (shed {shed}) — "
+                    f"{admitted - len(completed_ids) - resident} request(s) lost",
+                )
+            )
+        return out
+
+    def _check_allocator_empty(self) -> list[Violation]:
+        out: list[Violation] = []
+        if self._allocator.live:
+            leaked = sorted(self._allocator.live)
+            out.append(
+                Violation(
+                    "allocator-empty",
+                    f"{len(leaked)} reservation(s) leaked after shutdown: "
+                    f"{leaked[:8]}{'...' if len(leaked) > 8 else ''}",
+                )
+            )
+        for gpu in self._cluster.gpus:
+            stray = gpu.stage_allocations
+            if stray:
+                out.append(
+                    Violation(
+                        "allocator-empty",
+                        f"{gpu.gid} still carries stage allocation(s) "
+                        f"{sorted(stray)} after shutdown",
+                    )
+                )
+        for replica in self.replicas():
+            if replica.state is not ReplicaState.RELEASED:
+                out.append(
+                    Violation(
+                        "allocator-empty",
+                        f"{replica.name} still {replica.state.value} after shutdown",
+                    )
+                )
+        return out

@@ -1,0 +1,364 @@
+"""Chaos fuzz harness: seeded adversarial lifecycle interleavings.
+
+One chaos case = one serving system + one seed.  The seed derives the
+whole scenario — workload intensity/burstiness, admission cap,
+fragmentation, and a random schedule of refactor / scale-out / drain /
+failure injections fired while traffic flows.  After the run the system
+is shut down, the simulator drained to quiesce, and the full
+:class:`~repro.validation.auditor.InvariantAuditor` suite asserted: any
+dropped request or leaked reservation under *any* interleaving is a bug.
+
+Cases are independent and picklable, so ``audit_seeds`` fans them out
+through the parallel experiment runner (``repro audit --seeds N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.allocator import AllocationError
+from repro.cluster.cluster import make_small_cluster
+from repro.cluster.failures import (
+    FailureInjector,
+    ReclamationPolicy,
+    VictimChoice,
+)
+from repro.cluster.fragmentation import FragmentationModel
+from repro.core.admission import AdmissionGate, QueueCapPolicy
+from repro.core.context import ServingContext
+from repro.experiments.common import (
+    ExperimentConfig,
+    make_arrival_process,
+    make_workload_sampler,
+)
+from repro.experiments.systems import SYSTEM_FACTORIES, make_distserve
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.validation.auditor import InvariantAuditor, Violation
+from repro.workloads.generator import WorkloadGenerator
+
+def _chaos_distserve(ctx, cfg, **overrides):
+    """DistServe sized for the small chaos cluster (its paper-provisioned
+    defaults — 16 decode stages, peak-fraction replica counts — cannot
+    even start on 16 fragmented GPUs)."""
+    overrides.setdefault("initial_replicas", 2)
+    overrides.setdefault("decode_stages", 8)
+    return make_distserve(ctx, cfg, **overrides)
+
+
+# Everything the chaos audit exercises: the figure-sweep systems plus
+# DistServe (kept out of SYSTEM_FACTORIES so paper sweeps are unchanged).
+CHAOS_SYSTEMS = dict(SYSTEM_FACTORIES, DistServe=_chaos_distserve)
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One seeded chaos scenario against one system."""
+
+    system: str = "FlexPipe"
+    seed: int = 0
+    model: str = "LLAMA2-7B"
+    settle: float = 60.0  # initial replicas load before traffic/chaos
+    duration: float = 30.0  # traffic + chaos window
+    mean_action_interval: float = 1.0  # mean gap between chaos actions (s)
+    max_events: int = 10_000_000
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos case."""
+
+    case: ChaosCase
+    violations: list[Violation] = field(default_factory=list)
+    actions: dict[str, int] = field(default_factory=dict)
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ChaosSchedule:
+    """Fires seeded random lifecycle actions into a live serving system.
+
+    Actions work strictly through public interfaces (factories, routers,
+    executors, the failure injector), exactly like the disturbances a
+    fragmented serverless platform produces.  Every tick also runs the
+    auditor's mid-run checks, so a transient violation is caught at the
+    interleaving that produced it, not just at quiesce.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system,
+        rng,
+        *,
+        auditor: InvariantAuditor,
+        injector: FailureInjector | None = None,
+        mean_interval: float = 1.0,
+        audit_every_tick: bool = True,
+    ):
+        self.sim = sim
+        self.system = system
+        self.rng = rng
+        self.auditor = auditor
+        self.injector = injector
+        self.mean_interval = mean_interval
+        self.audit_every_tick = audit_every_tick
+        self.actions: dict[str, int] = {}
+        self.violations: dict[tuple[str, str], Violation] = {}
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        delay = float(self.rng.exponential(self.mean_interval))
+        self.sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        choices = ["scale_out", "drain", "refactor", "fail"]
+        weights = [0.3, 0.3, 0.25, 0.15]
+        action = str(self.rng.choice(choices, p=weights))
+        outcome = getattr(self, f"_do_{action}")()
+        key = f"{action}:{outcome}" if outcome else action
+        self.actions[key] = self.actions.get(key, 0) + 1
+        if self.audit_every_tick:
+            self.record(self.auditor.audit_running())
+        self._schedule_next()
+
+    def record(self, violations: list[Violation]) -> None:
+        """Accumulate violations, de-duplicated on (invariant, detail)."""
+        for violation in violations:
+            self.violations.setdefault(
+                (violation.invariant, violation.detail), violation
+            )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _pick_model(self) -> str:
+        names = sorted(self.system.specs)
+        return names[int(self.rng.integers(len(names)))]
+
+    def _do_scale_out(self) -> str:
+        model = self._pick_model()
+        profile = self.system.profiles[model]
+        states = getattr(self.system, "_models", None)
+        deploy_decode = getattr(self.system, "_deploy_decode", None)
+        if states is not None:  # FlexPipe: random ladder rung
+            ladder = states[model].ladder
+            counts = ladder.stage_counts
+            plan = ladder.plan(int(counts[int(self.rng.integers(len(counts)))]))
+            deploy = lambda: self.system.factory.deploy(
+                profile, plan, batch_cap=self.system.batch_cap
+            )
+        elif deploy_decode is not None and self.rng.random() < 0.5:
+            # DistServe: also churn the decode pool, or drains could
+            # empty it permanently with the fuzzer never re-growing it.
+            deploy = lambda: deploy_decode(profile, model)
+        else:  # baselines: their fixed granularity
+            plan = self.system.plans[model]
+            deploy = lambda: self.system._deploy(profile, plan)
+        try:
+            deploy()
+        except AllocationError:
+            return "blocked"
+        return "ok"
+
+    def _do_drain(self) -> str:
+        factory = self.system.factory
+        live = factory.live_replicas()
+        if not live:
+            return "noop"
+        factory.release(live[int(self.rng.integers(len(live)))])
+        return "ok"
+
+    def _do_refactor(self) -> str:
+        states = getattr(self.system, "_models", None)
+        if not states:
+            return "unsupported"
+        model = self._pick_model()
+        state = states[model]
+        active = self.system.routers[model].active_replicas
+        if not active:
+            return "noop"
+        replica = active[int(self.rng.integers(len(active)))]
+        targets = [
+            c for c in state.ladder.stage_counts if c != replica.plan.n_stages
+        ]
+        if not targets:
+            return "noop"
+        target = int(targets[int(self.rng.integers(len(targets)))])
+        started = state.executor.refactor(replica, target)
+        return "ok" if started else "declined"
+
+    def _do_fail(self) -> str:
+        if self.injector is None:
+            return "unsupported"
+        event = self.injector.inject()
+        return "ok" if event is not None else "noop"
+
+
+# ----------------------------------------------------------------------
+# Case execution
+# ----------------------------------------------------------------------
+def run_chaos_case(case: ChaosCase) -> ChaosReport:
+    """Run one seeded chaos scenario end-to-end and audit it.
+
+    A crash anywhere inside the case is itself a finding: it is reported
+    as a ``harness-crash`` violation on the case's report (so ``repro
+    audit`` keeps its (system, seed, invariant) reproducer contract and
+    the remaining seeds still run) rather than propagating.
+    """
+    try:
+        return _run_chaos_case(case)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return ChaosReport(
+            case=case,
+            violations=[
+                Violation(
+                    "harness-crash",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            ],
+        )
+
+
+def _run_chaos_case(case: ChaosCase) -> ChaosReport:
+    sim = Simulator()
+    streams = RandomStreams(case.seed)
+    knobs = streams.stream("chaos-config")
+    qps = float(knobs.uniform(4.0, 12.0))
+    cv = float(knobs.choice([1.0, 2.0, 4.0, 8.0]))
+    cap = knobs.choice([0, 32, 128])  # 0 = no admission gate
+    fragmented = bool(knobs.random() < 0.5)
+
+    cluster = make_small_cluster(sim)
+    fragmentation = None
+    if fragmented:
+        fragmentation = FragmentationModel(sim, cluster, streams)
+        fragmentation.warm_up()
+    ctx = ServingContext.create(sim, cluster, streams)
+    cfg = ExperimentConfig(
+        model=case.model,
+        qps=qps,
+        cv=cv,
+        duration=case.duration,
+        seed=case.seed,
+        cluster="small",
+        batch_cap=16,
+        settle_time=case.settle,
+    )
+    system = CHAOS_SYSTEMS[case.system](ctx, cfg)
+    try:
+        system.start()
+    except AllocationError:
+        # An under-provisioned cold start on a fragmented cluster is part
+        # of the chaos: the system proceeds with whatever replicas fit
+        # (per-replica allocation is atomic, so nothing dangles).
+        pass
+    sim.run(until=case.settle, max_events=case.max_events)
+
+    policy = QueueCapPolicy(_total_queue(system), int(cap)) if cap else None
+    gate = AdmissionGate(system.submit, policy)
+    generator = WorkloadGenerator(
+        sim,
+        make_arrival_process(cfg, streams),
+        make_workload_sampler(cfg, streams),
+        gate.submit,
+        case.duration,
+    )
+    auditor = InvariantAuditor(system, generators=[generator], gates=[gate])
+    injector = FailureInjector(
+        sim,
+        cluster,
+        streams.stream("chaos-failures"),
+        system,
+        # mtbf is irrelevant (the schedule injects directly); short
+        # downtimes keep the post-run quiesce window bounded.
+        policy=ReclamationPolicy(
+            mtbf=1e9, downtime_mean=5.0, choice=VictimChoice.SERVING_BIASED
+        ),
+    )
+    chaos = ChaosSchedule(
+        sim,
+        system,
+        streams.stream("chaos-actions"),
+        auditor=auditor,
+        injector=injector,
+        mean_interval=case.mean_action_interval,
+    )
+    chaos.start()
+    sim.run(until=case.settle + case.duration, max_events=case.max_events)
+    chaos.stop()
+    injector.stop()
+    system.shutdown()
+    if fragmentation is not None:
+        fragmentation.stop()
+    # Drain to quiesce: in-flight batches, pending loads, reclamation
+    # restores and teardown all complete, then the conservation laws must
+    # hold exactly.
+    sim.run_until_idle(max_events=case.max_events)
+    chaos.record(auditor.audit_quiesce())
+
+    completed = len({r.rid for r in system.metrics.records})
+    return ChaosReport(
+        case=case,
+        violations=list(chaos.violations.values()),
+        actions=dict(sorted(chaos.actions.items())),
+        offered=generator.offered,
+        completed=completed,
+        shed=gate.stats.rejected,
+    )
+
+
+def _total_queue(system):
+    """Live backlog across every router (admission-cap signal)."""
+
+    def total() -> int:
+        return sum(r.total_queue for r in system.all_routers().values())
+
+    return total
+
+
+def audit_seeds(
+    *,
+    seeds: int = 10,
+    systems: list[str] | None = None,
+    runner=None,
+    jobs: int | None = None,
+    case_kwargs: dict | None = None,
+) -> list[ChaosReport]:
+    """Run the chaos audit over ``seeds`` seeds for each system.
+
+    Cases fan out through the parallel experiment runner's worker pool
+    (``--jobs`` / ``REPRO_JOBS``); the result cache is bypassed — a chaos
+    audit must always re-execute.
+    """
+    from repro.experiments.runner import make_runner
+
+    chosen = list(systems) if systems else sorted(CHAOS_SYSTEMS)
+    unknown = [s for s in chosen if s not in CHAOS_SYSTEMS]
+    if unknown:
+        raise KeyError(
+            f"unknown system(s) {unknown}; available: {sorted(CHAOS_SYSTEMS)}"
+        )
+    kwargs = case_kwargs or {}
+    cases = [
+        ChaosCase(system=name, seed=seed, **kwargs)
+        for name in chosen
+        for seed in range(seeds)
+    ]
+    exp_runner = make_runner(runner, jobs=jobs, use_cache=False)
+    return exp_runner.map(run_chaos_case, cases)

@@ -108,3 +108,31 @@ class TestServing:
         bad = Request(1, "nope", 0.0, 10, 10, 1.0)
         with pytest.raises(KeyError):
             system.submit(bad)
+
+
+class TestTeardown:
+    def test_released_decode_replicas_leave_their_router(self, distserve):
+        """The factory's teardown only knows the prefill routers; decode
+        replicas must still be unhooked from their decode router on
+        release (no zombie gateway entries)."""
+        sim, system = distserve
+        system.start()
+        sim.run(until=200.0)
+        decode_router = system.decode_routers[LLAMA2_7B.name]
+        assert decode_router.active_replicas  # decode pool is serving
+        for replica in list(decode_router.replicas):
+            system.factory.release(replica)
+        # Bounded run: the system is still live (periodic samplers tick),
+        # so draining must finish within a generous window.
+        sim.run(until=sim.now + 300.0)
+        assert decode_router.replicas == []
+
+    def test_shutdown_tears_down_both_pools(self, distserve):
+        sim, system = distserve
+        system.start()
+        sim.run(until=200.0)
+        system.shutdown()
+        sim.run_until_idle()
+        assert system.ctx.allocator.live == {}
+        assert system.decode_routers[LLAMA2_7B.name].replicas == []
+        assert system.routers[LLAMA2_7B.name].replicas == []

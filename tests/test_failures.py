@@ -76,6 +76,81 @@ class TestInjection:
         after = len([r for r in router.replicas if r.accepting])
         assert after == before - injector.events[0].replicas_hit
 
+    def test_reclaim_drains_loading_replicas_too(self, live_system):
+        """A replica still LOADING is in no router, but its reservations
+        already occupy the victim GPU — reclamation must drain it, and it
+        must never activate on the reclaimed device afterwards."""
+        sim, cluster, streams, system = live_system
+        state = system._models[LLAMA2_7B.name]
+        plan = state.ladder.plan(state.current_stages)
+        loading = system.factory.deploy(
+            system.profiles[LLAMA2_7B.name], plan, batch_cap=system.batch_cap
+        )
+        assert loading.state.value == "loading"
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=1e9, downtime_mean=10.0),
+        )
+        victim = loading.stages[0].reservation.gpu
+        event = injector.inject(victim)
+        assert event is not None and event.replicas_hit >= 1
+        assert loading.state.value == "released"
+        # Bounded run (the system's periodic loops keep ticking): the
+        # in-flight load completes harmlessly within the window.
+        sim.run(until=sim.now + 120.0)
+        assert loading.activated_at is None
+        assert all(s.reservation.released for s in loading.stages)
+
+    def test_memory_freed_by_draining_victims_stays_blocked(self, live_system):
+        """Reallocation must not land on a reclaimed GPU mid-downtime:
+        memory the draining victims release is absorbed by the blocker,
+        and even a packed victim (zero free bytes) gets a restore."""
+        sim, cluster, streams, system = live_system
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            # The drawn downtime is exponential(mean); a large mean keeps
+            # this seed's draw comfortably above the drain time.
+            ReclamationPolicy(mtbf=1e9, downtime_mean=2000.0),
+        )
+        router = system.routers[LLAMA2_7B.name]
+        victim = router.replicas[0].stages[0].reservation.gpu
+        start = sim.now
+        event = injector.inject(victim)
+        assert event is not None and event.replicas_hit >= 1
+        assert event.downtime > 10.0  # long enough for the victims to drain
+        # Let the victims drain well inside the downtime window: their
+        # freed bytes must be re-absorbed, not become allocatable.
+        sim.run(until=start + event.downtime - 2.0)
+        assert victim.gid in injector._blocked
+        # The blocker leaves a sub-byte float-safety hair unabsorbed.
+        assert victim.free_memory == pytest.approx(0.0, abs=1e-2)
+        # After the downtime the blocker releases what it absorbed.
+        sim.run(until=start + event.downtime + 5.0)
+        assert victim.gid not in injector._blocked
+        assert victim.free_memory > 0
+
+    def test_reclaimed_gpu_is_cordoned_against_placement(self, live_system):
+        """Even in the instant between a victim freeing memory and the
+        blocker absorbing it, the allocator must refuse to place serving
+        stages on a reclaimed GPU."""
+        sim, cluster, streams, system = live_system
+        from repro.cluster.allocator import AllocationError
+
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=1e9, downtime_mean=2000.0),
+        )
+        victim = system.routers[LLAMA2_7B.name].replicas[0].stages[0].reservation.gpu
+        assert injector.inject(victim) is not None
+        assert victim.cordoned
+        # Simulate freshly-freed memory before the next top-up tick: the
+        # cordon, not the blocker, must keep placement off the device.
+        with pytest.raises(AllocationError):
+            system.ctx.allocator.reserve_on(LLAMA2_7B.name, victim, 1024.0)
+        assert victim not in system.ctx.allocator.candidates(0.0)
+        sim.run(until=sim.now + injector.events[0].downtime + 5.0)
+        assert not victim.cordoned
+
     def test_reclaimed_gpu_blocked_then_restored(self, live_system):
         sim, cluster, streams, system = live_system
         rng = np.random.default_rng(0)

@@ -1,0 +1,313 @@
+"""Lifecycle invariant auditor + seeded chaos harness (tier-1).
+
+The chaos tests replay fixed seeds, so they are deterministic; the
+auditor tests poison a known-clean run and assert each invariant fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.allocator import AllocationError, GPUAllocator
+from repro.cluster.cluster import make_small_cluster
+from repro.core.context import ServingContext
+from repro.core.flexpipe import FlexPipeSystem
+from repro.models.zoo import LLAMA2_7B
+from repro.pipeline.replica import ReplicaState
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.validation import (
+    CHAOS_SYSTEMS,
+    ChaosCase,
+    InvariantAuditor,
+    InvariantViolationError,
+    audit_seeds,
+    run_chaos_case,
+)
+from repro.workloads.arrivals import make_arrivals
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.requests import LengthDistribution, RequestSampler
+
+CHAOS_SEEDS = (0, 1, 2)
+
+
+# ----------------------------------------------------------------------
+# Chaos fuzz harness (fixed seeds, every system)
+# ----------------------------------------------------------------------
+class TestChaosHarness:
+    @pytest.mark.parametrize("system", sorted(CHAOS_SYSTEMS))
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seeded_interleavings_hold_all_invariants(self, system, seed):
+        report = run_chaos_case(ChaosCase(system=system, seed=seed))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        assert report.offered > 0
+
+    def test_chaos_actually_exercises_the_lifecycle(self):
+        """The harness must drive drains, failures and scale-outs — a
+        quiet schedule would vacuously satisfy every invariant."""
+        merged: dict[str, int] = {}
+        for seed in range(4):
+            report = run_chaos_case(ChaosCase(system="FlexPipe", seed=seed))
+            for key, count in report.actions.items():
+                merged[key] = merged.get(key, 0) + count
+        assert merged.get("drain:ok", 0) > 0
+        assert merged.get("fail:ok", 0) > 0
+        assert merged.get("scale_out:ok", 0) > 0
+
+    def test_refactor_interleavings_occur_on_flexpipe(self):
+        """At least one seed must land a live refactor so the harness
+        genuinely covers the inflight-refactoring paths."""
+        assert any(
+            run_chaos_case(ChaosCase(system="FlexPipe", seed=seed)).actions.get(
+                "refactor:ok", 0
+            )
+            > 0
+            for seed in range(6)
+        )
+
+    def test_audit_seeds_fans_out_and_reports(self):
+        reports = audit_seeds(seeds=2, systems=["FlexPipe"], jobs=1)
+        assert len(reports) == 2
+        assert [r.case.seed for r in reports] == [0, 1]
+        assert all(r.ok for r in reports)
+
+    def test_audit_seeds_rejects_unknown_system(self):
+        with pytest.raises(KeyError):
+            audit_seeds(seeds=1, systems=["NoSuchSystem"])
+
+    def test_crash_inside_a_case_becomes_an_attributed_violation(
+        self, monkeypatch
+    ):
+        """A regression that makes an interleaving raise must surface as
+        a (system, seed, harness-crash) finding, not abort the audit."""
+        import repro.validation.chaos as chaos_mod
+
+        def boom(case):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(chaos_mod, "_run_chaos_case", boom)
+        report = chaos_mod.run_chaos_case(ChaosCase(system="FlexPipe", seed=3))
+        assert not report.ok
+        assert report.violations[0].invariant == "harness-crash"
+        assert "synthetic crash" in report.violations[0].detail
+        assert report.case.seed == 3
+
+
+# ----------------------------------------------------------------------
+# Auditor detection power (poisoned runs must be flagged)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def clean_run():
+    """A short FlexPipe run, shut down and quiesced — audits clean."""
+    sim = Simulator()
+    streams = RandomStreams(7)
+    cluster = make_small_cluster(sim)
+    ctx = ServingContext.create(sim, cluster, streams)
+    system = FlexPipeSystem(ctx, [LLAMA2_7B], initial_replicas=1)
+    system.start()
+    sim.run(until=60.0)
+    sampler = RequestSampler(
+        LLAMA2_7B.name,
+        streams.stream("requests"),
+        prompt=LengthDistribution(median=128, sigma=0.6, lo=16, hi=1024),
+        output=LengthDistribution(median=8, sigma=0.7, lo=1, hi=64),
+    )
+    generator = WorkloadGenerator(
+        sim, make_arrivals(5.0, 1.0, streams.stream("arrivals")),
+        sampler, system.submit, 10.0,
+    )
+    sim.run(until=90.0)
+    system.shutdown()
+    sim.run_until_idle()
+    auditor = InvariantAuditor(system, generators=[generator])
+    return sim, ctx, system, auditor
+
+
+def invariants_of(violations):
+    return {v.invariant for v in violations}
+
+
+class TestAuditorDetection:
+    def test_clean_run_audits_clean(self, clean_run):
+        _, _, _, auditor = clean_run
+        assert auditor.audit_quiesce() == []
+
+    def test_assert_clean_raises_with_details(self, clean_run):
+        _, ctx, _, auditor = clean_run
+        gpu = ctx.cluster.gpus[0]
+        ctx.allocator.reserve_on("leaky-model", gpu, 1024.0)
+        with pytest.raises(InvariantViolationError) as err:
+            auditor.assert_clean()
+        assert "allocator-empty" in str(err.value)
+
+    def test_leaked_reservation_flagged(self, clean_run):
+        _, ctx, _, auditor = clean_run
+        ctx.allocator.reserve_on("leaky-model", ctx.cluster.gpus[0], 2048.0)
+        assert "allocator-empty" in invariants_of(auditor.audit_quiesce())
+
+    def test_reservation_without_gpu_backing_flagged(self, clean_run):
+        _, ctx, _, auditor = clean_run
+        gpu = ctx.cluster.gpus[0]
+        res = ctx.allocator.reserve_on("m", gpu, 4096.0)
+        gpu.release(res.res_id)  # GPU side vanishes, allocator side stays
+        assert "memory-accounting" in invariants_of(auditor.audit_quiesce())
+
+    def test_lost_request_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        assert system.metrics.records, "fixture must have completed requests"
+        system.metrics.records.pop()
+        assert "request-conservation" in invariants_of(auditor.audit_quiesce())
+
+    def test_double_completion_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        system.metrics.records.append(system.metrics.records[0])
+        found = invariants_of(auditor.audit_quiesce())
+        assert "completion-uniqueness" in found
+
+    def test_router_mismatch_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        next(iter(system.routers.values())).submitted += 1
+        assert "router-reconciliation" in invariants_of(auditor.audit_quiesce())
+
+    def test_routed_but_never_accepted_flagged(self, clean_run):
+        """A request lost between gateway and replica breaks the
+        cross-layer routed == accepted reconciliation."""
+        _, _, system, auditor = clean_run
+        router = next(iter(system.routers.values()))
+        router.submitted += 1
+        router.routed += 1  # router books are internally consistent...
+        found = invariants_of(auditor.audit_quiesce())
+        assert "router-reconciliation" in found  # ...the cross-check isn't
+
+    def test_replica_losing_accepted_request_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        system.factory.replicas[0].accepted_requests += 1
+        assert "replica-conservation" in invariants_of(auditor.audit_quiesce())
+
+    def test_illegal_transition_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        replica = system.factory.replicas[0]
+        replica.state_history.append((0.0, ReplicaState.ACTIVE))
+        found = invariants_of(auditor.audit_quiesce())
+        assert "replica-state-machine" in found
+
+    def test_replica_anomaly_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        system.factory.replicas[0].anomalies.append("synthetic anomaly")
+        assert "replica-anomalies" in invariants_of(auditor.audit_quiesce())
+
+    def test_zombie_router_entry_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        router = next(iter(system.routers.values()))
+        router.replicas.append(system.factory.replicas[0])  # RELEASED by now
+        assert "router-hygiene" in invariants_of(auditor.audit_quiesce())
+
+    def test_phantom_chain_jobs_flagged(self, clean_run):
+        _, _, system, auditor = clean_run
+        replica = system.factory.replicas[0]
+        replica._chain_jobs[12345] = 2
+        assert "chain-accounting" in invariants_of(auditor.audit_quiesce())
+
+
+# ----------------------------------------------------------------------
+# Shutdown is a full teardown (the no-leak invariant's precondition)
+# ----------------------------------------------------------------------
+class TestShutdownTeardown:
+    def test_shutdown_releases_every_reservation(self, clean_run):
+        _, ctx, system, _ = clean_run
+        assert ctx.allocator.live == {}
+        assert all(g.stage_allocations == {} for g in ctx.cluster.gpus)
+        assert all(
+            r.state is ReplicaState.RELEASED for r in system.factory.replicas
+        )
+
+    def test_shutdown_drains_loading_replicas_without_late_activation(self):
+        """A replica reclaimed mid-load must not activate when its load
+        completes — the reservations are already back with the allocator."""
+        sim = Simulator()
+        streams = RandomStreams(11)
+        cluster = make_small_cluster(sim)
+        ctx = ServingContext.create(sim, cluster, streams)
+        system = FlexPipeSystem(ctx, [LLAMA2_7B], initial_replicas=1)
+        system.start()  # replicas still LOADING
+        assert any(
+            r.state is ReplicaState.LOADING for r in system.factory.replicas
+        )
+        system.shutdown()
+        sim.run_until_idle()  # in-flight loads complete after the drain
+        assert ctx.allocator.live == {}
+        for replica in system.factory.replicas:
+            assert replica.state is ReplicaState.RELEASED
+            assert replica.anomalies == []
+            assert replica.activated_at is None  # never served
+
+
+# ----------------------------------------------------------------------
+# Allocator balance property (seeded reserve/release/resize sequences)
+# ----------------------------------------------------------------------
+class TestAllocatorBalanceProperty:
+    def _assert_balanced(self, allocator, cluster):
+        by_gpu: dict[str, float] = {}
+        for res in allocator.live.values():
+            assert not res.released
+            by_gpu[res.gpu.gid] = by_gpu.get(res.gpu.gid, 0.0) + res.nbytes
+        for gpu in cluster.gpus:
+            expect = by_gpu.get(gpu.gid, 0.0)
+            assert gpu.serving_mem == pytest.approx(expect, abs=1e-3)
+            assert gpu.used_memory <= gpu.spec.memory + 1e-3
+        assert allocator.total_reserved() == pytest.approx(
+            sum(by_gpu.values()), abs=1e-3
+        )
+
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3))
+    def test_random_op_sequences_keep_exact_accounting(self, seed):
+        sim = Simulator()
+        cluster = make_small_cluster(sim, n_servers=3, gpus_per_server=2)
+        allocator = GPUAllocator(cluster)
+        rng = RandomStreams(seed).stream("allocator-fuzz")
+        gib = 2**30
+        live: list = []
+        for _ in range(300):
+            op = rng.choice(["reserve", "stages", "release", "resize"])
+            try:
+                if op == "reserve":
+                    gpu = cluster.gpus[int(rng.integers(len(cluster.gpus)))]
+                    model = f"m{int(rng.integers(3))}"
+                    live.append(
+                        allocator.reserve_on(
+                            model,
+                            gpu,
+                            float(rng.uniform(1, 30)) * gib,
+                            allow_same_model=bool(rng.random() < 0.5),
+                        )
+                    )
+                elif op == "stages":
+                    mems = [
+                        float(rng.uniform(1, 20)) * gib
+                        for _ in range(int(rng.integers(1, 4)))
+                    ]
+                    live.extend(
+                        allocator.allocate_stages(f"m{int(rng.integers(3))}", mems)
+                    )
+                elif op == "release" and live:
+                    allocator.release(live.pop(int(rng.integers(len(live)))))
+                elif op == "resize" and live:
+                    res = live[int(rng.integers(len(live)))]
+                    allocator.resize(res, float(rng.uniform(1, 40)) * gib)
+            except (AllocationError, ValueError):
+                pass  # rejected ops must leave the books untouched
+            self._assert_balanced(allocator, cluster)
+        for res in list(live):
+            allocator.release(res)
+        assert allocator.live == {}
+        assert all(g.serving_mem == 0.0 for g in cluster.gpus)
+
+    def test_double_release_rejected_and_books_intact(self):
+        sim = Simulator()
+        cluster = make_small_cluster(sim, n_servers=1, gpus_per_server=2)
+        allocator = GPUAllocator(cluster)
+        res = allocator.reserve_on("m", cluster.gpus[0], 2**30)
+        allocator.release(res)
+        with pytest.raises(AllocationError):
+            allocator.release(res)
+        self._assert_balanced(allocator, cluster)

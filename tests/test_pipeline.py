@@ -244,6 +244,66 @@ class TestInflightSwap:
         sim.run_until_idle()
         assert len(completed) == submitted
 
+    def test_swap_on_draining_replica_rejected(
+        self, sim, small_cluster, llama_profile, llama_ladder, sampler
+    ):
+        """A dying replica must never acquire a fresh chain."""
+        completed = []
+        replica, allocator = deploy_replica(
+            sim, small_cluster, llama_profile, llama_ladder.plan(2), completed
+        )
+        replica.activate()
+        replica.submit(sampler.sample(0.0))
+        sim.run(max_events=2)  # job in flight keeps it DRAINING
+        replica.drain()
+        assert replica.state is ReplicaState.DRAINING
+        new_plan = llama_ladder.plan(1)
+        mems = new_plan.memory_per_stage(8, llama_profile.spec.kv_bytes_per_request)
+        free = [g for g in small_cluster.gpus if not g.hosts_model("LLAMA2-7B")]
+        new_res = [allocator.reserve_on("LLAMA2-7B", free[0], mems[0])]
+        with pytest.raises(RuntimeError):
+            replica.swap_stages(new_plan, new_res)
+
+    def test_untracked_chain_completion_is_an_anomaly_not_a_negative(
+        self, sim, small_cluster, llama_profile, llama_ladder, sampler
+    ):
+        """A job completing on a chain whose counter vanished must be
+        recorded as an anomaly — not silently resurrect the counter or
+        drive it negative."""
+        completed = []
+        replica, _ = deploy_replica(
+            sim, small_cluster, llama_profile, llama_ladder.plan(2), completed
+        )
+        replica.activate()
+        replica.submit(sampler.sample(0.0))
+        sim.run(max_events=2)
+        assert replica.inflight_jobs == 1
+        replica._chain_jobs.clear()  # simulate a lost chain entry
+        sim.run_until_idle()
+        assert len(completed) == 1  # the request still completes
+        assert replica.anomalies  # ...but the inconsistency is recorded
+        assert all(v >= 0 for v in replica._chain_jobs.values())
+
+    def test_state_history_records_full_lifecycle(
+        self, sim, small_cluster, llama_profile, llama_ladder, sampler
+    ):
+        completed = []
+        replica, _ = deploy_replica(
+            sim, small_cluster, llama_profile, llama_ladder.plan(2), completed
+        )
+        replica.activate()
+        replica.submit(sampler.sample(0.0))
+        sim.run(max_events=2)
+        replica.drain()
+        sim.run_until_idle()
+        assert [s for _, s in replica.state_history] == [
+            ReplicaState.LOADING,
+            ReplicaState.ACTIVE,
+            ReplicaState.DRAINING,
+            ReplicaState.RELEASED,
+        ]
+        assert replica.anomalies == []
+
 
 class TestRouter:
     def test_requests_pend_without_active_replicas(self, sim, sampler):
@@ -285,6 +345,45 @@ class TestRouter:
             router.submit(sampler.sample(0.0))
         queues = [r.queue_length for r in replicas]
         assert abs(queues[0] - queues[1]) <= 1
+
+    def test_jsq_normalises_by_effective_batch(
+        self, sim, small_cluster, llama_profile, llama_ladder, sampler
+    ):
+        """A replica deployed degraded (halved batch under fragmentation)
+        must attract proportionally less load than a full one, even though
+        both share the same partition plan."""
+        plan = llama_ladder.plan(2)
+        degraded, _ = deploy_replica(
+            sim, small_cluster, llama_profile, plan, [], batch=8, max_wait=5.0
+        )
+        full, _ = deploy_replica(
+            sim, small_cluster, llama_profile, plan, [], batch=16, max_wait=5.0
+        )
+        router = ModelRouter(sim, "LLAMA2-7B")
+        for replica in (degraded, full):  # degraded first: ties would pick it
+            replica.activate()
+            router.add(replica)
+        for replica in (degraded, full):
+            for _ in range(6):
+                replica.submit(sampler.sample(0.0))
+        # Equal absolute queues, but 6/8 of a degraded batch is deeper
+        # congestion than 6/16 of a full one.
+        assert degraded.queue_length == full.queue_length == 6
+        assert router._pick() is full
+
+    def test_router_reconciles_submitted_routed_pending(
+        self, sim, small_cluster, llama_profile, llama_ladder, sampler
+    ):
+        router = ModelRouter(sim, "LLAMA2-7B")
+        router.submit(sampler.sample(0.0))  # pends (no replica yet)
+        replica, _ = deploy_replica(
+            sim, small_cluster, llama_profile, llama_ladder.plan(2), []
+        )
+        replica.activate()
+        router.add(replica)  # drains the pending request
+        router.submit(sampler.sample(0.0))
+        assert router.submitted == 2
+        assert router.routed + len(router.pending) == router.submitted
 
     def test_remove_stops_routing(self, sim, small_cluster, llama_profile, llama_ladder, sampler):
         completed = []

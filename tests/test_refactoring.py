@@ -26,7 +26,7 @@ from repro.refactoring.placement import (
 )
 from repro.scaling.warm_cache import HostParamCache
 from repro.simulation.randomness import RandomStreams
-from repro.workloads.requests import RequestSampler
+from repro.workloads.requests import Request, RequestSampler
 
 
 class TestMonitor:
@@ -234,3 +234,132 @@ class TestExecutor:
         # Every reservation the transition created must have been released.
         live_models = {r.model for r in ctx.allocator.live.values()}
         assert "LLAMA2-7B" not in live_models
+
+    def test_drain_during_preparation_window_skips_the_swap(
+        self, setup, llama_profile
+    ):
+        """Refactor-vs-drain race: a replica that starts draining while
+        the transition prepares must not receive the new chain — the
+        prepared reservations go straight back to the allocator."""
+        ctx, ladder, metrics, executor = setup
+        completed = []
+        replica = self._deploy(ctx, llama_profile, ladder, 2, completed)
+        replica.on_released = lambda r: [
+            ctx.allocator.release(s.reservation)
+            for s in r.stages
+            if not s.reservation.released
+        ]
+        # A long-running batch keeps the replica DRAINING (not RELEASED)
+        # across the whole preparation window.
+        replica.submit(
+            Request(
+                rid=990,
+                model="LLAMA2-7B",
+                arrival_time=ctx.sim.now,
+                prompt_tokens=2048,
+                output_tokens=256,
+                slo_latency=100.0,
+            )
+        )
+        ctx.sim.run(until=0.05)  # batch dispatched, job in flight
+        assert replica.inflight_jobs == 1
+        assert executor.refactor(replica, 4)
+        replica.drain()  # mid-preparation-window
+        assert replica.state is ReplicaState.DRAINING
+        ctx.sim.run_until_idle()
+        # The in-flight request still completed (no drop)...
+        assert len(completed) == 1
+        # ...but no chain was swapped onto the dying replica...
+        assert replica.reconfig_count == 0
+        assert executor.transitions_completed == 0
+        assert replica.plan.n_stages == 2
+        # ...and nothing leaked: replica released, allocator clean.
+        assert replica.state is ReplicaState.RELEASED
+        live_models = {r.model for r in ctx.allocator.live.values()}
+        assert "LLAMA2-7B" not in live_models
+        assert replica.anomalies == []
+
+    def test_reclaimed_target_gpu_aborts_the_swap(self, setup, llama_profile):
+        """Refactor-vs-reclamation race: if the platform cordons a GPU
+        holding a prepared stage during the preparation window, the swap
+        must abort and give the reservations back — never serve from a
+        reclaimed device."""
+        ctx, ladder, metrics, executor = setup
+        replica = self._deploy(ctx, llama_profile, ladder, 2, [])
+        assert executor.refactor(replica, 4)
+        # Mid-window, the platform reclaims every GPU the transition
+        # prepared on (cordon only; no drain reaches these reservations).
+        prepared = [
+            res
+            for res in ctx.allocator.live.values()
+            if res.gpu not in {s.gpu for s in replica.stages}
+        ]
+        assert prepared
+        for res in prepared:
+            res.gpu.cordoned = True
+        ctx.sim.run_until_idle()
+        assert executor.transitions_completed == 0
+        assert replica.plan.n_stages == 2  # still on the old chain
+        assert all(res.released for res in prepared)
+        assert not any(
+            s.reservation.gpu.cordoned for s in replica.stages
+        )  # serving never moved onto a reclaimed device
+
+    def test_memory_degradation_halves_batch_instead_of_aborting(
+        self, setup, llama_profile
+    ):
+        """Mirror of deploy's fallback: when the target rung cannot fit
+        at the full batch's KV reservation, the transition degrades the
+        batch rather than failing outright."""
+        ctx, ladder, metrics, _ = setup
+        executor = RefactoringExecutor(
+            ctx,
+            llama_profile,
+            ladder,
+            metrics,
+            warm_cache=HostParamCache(),
+            batch_cap=32,
+        )
+        completed = []
+        replica = self._deploy(ctx, llama_profile, ladder, 2, completed)
+        # Shape the cluster so every GPU can host any 4-stage piece at
+        # batch 16 but none can take the largest piece at batch 32.
+        plan4 = ladder.plan(4)
+        kv = llama_profile.spec.kv_bytes_per_request
+        mems32 = plan4.memory_per_stage(32, kv)
+        mems16 = plan4.memory_per_stage(16, kv)
+        assert max(mems32) > max(mems16)
+        free = (max(mems16) + max(mems32)) / 2
+        for gpu in ctx.cluster.gpus:
+            gpu.background_mem = max(
+                gpu.spec.memory - gpu.serving_mem - free, 0.0
+            )
+        assert executor.refactor(replica, 4)
+        ctx.sim.run_until_idle()
+        assert replica.plan.n_stages == 4
+        assert executor.transitions_completed == 1
+        assert replica.max_batch <= 16  # degraded below the 32 cap
+
+    def test_refactor_event_includes_decision_latency(
+        self, setup, llama_profile
+    ):
+        """Fig. 6-style accounting: the recorded transition time must be
+        decision latency + preparation window + switch pause — what the
+        executor actually scheduled."""
+        ctx, ladder, metrics, _ = setup
+        executor = RefactoringExecutor(
+            ctx,
+            llama_profile,
+            ladder,
+            metrics,
+            warm_cache=HostParamCache(),
+            decision_latency=5.0,
+        )
+        replica = self._deploy(ctx, llama_profile, ladder, 2, [])
+        start = ctx.sim.now
+        assert executor.refactor(replica, 4)
+        ctx.sim.run_until_idle()
+        event = [e for e in metrics.events if e.kind == "refactor"][-1]
+        assert event.init_time >= 5.0
+        # The event time and the recorded duration agree end to end.
+        assert event.init_time == pytest.approx(event.time - start)
