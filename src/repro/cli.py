@@ -13,6 +13,15 @@ Commands
 ``report``
     Regenerate ``EXPERIMENTS.md`` from the bench outputs in
     ``benchmarks/_results/``.
+``audit``
+    Seeded chaos fuzz of lifecycle interleavings (single-model small
+    cluster and multi-model paper cluster), asserting the invariants.
+``scenario list`` / ``scenario run``
+    The declarative scenario engine: scripted multi-model runs (phased
+    arrivals + timed disturbances) against any system, audited.
+``fuzz``
+    Direct migration/link-layer fuzzing (scheduling invariants, link
+    physics).
 
 The heavy experiments (full five-system sweeps) are the same code the
 benches call; expect minutes of wall-clock for those.
@@ -47,6 +56,37 @@ def _rows_table(rows: list[dict], title: str) -> str:
     headers = list(rows[0])
     body = [[row.get(h, "") for h in headers] for row in rows]
     return format_table(headers, body, title=title)
+
+
+def _choose(
+    requested: list | None, available: dict, what: str = "system"
+) -> list[str] | None:
+    """Resolve a requested-vs-available selection (default: everything);
+    None (after a stderr message) if any name is unknown."""
+    chosen = list(requested) if requested else sorted(available)
+    unknown = [s for s in chosen if s not in available]
+    if unknown:
+        print(
+            f"unknown {what}(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(sorted(available))}",
+            file=sys.stderr,
+        )
+        return None
+    return chosen
+
+
+def _report_violations(failures: list, describe) -> int:
+    """Dump each failing report's violations to stderr; 1 if any, else 0.
+
+    ``describe(report)`` renders the reproducer label for one report.
+    """
+    if not failures:
+        return 0
+    print("\ninvariant violations:", file=sys.stderr)
+    for report in failures:
+        for violation in report.violations:
+            print(f"  {describe(report)}: {violation}", file=sys.stderr)
+    return 1
 
 
 # ----------------------------------------------------------------------
@@ -231,14 +271,8 @@ def _run_audit(args) -> int:
     """``repro audit``: the seeded chaos audit of lifecycle invariants."""
     from repro.validation.chaos import CHAOS_SYSTEMS, audit_seeds
 
-    systems = args.systems or sorted(CHAOS_SYSTEMS)
-    unknown = [s for s in systems if s not in CHAOS_SYSTEMS]
-    if unknown:
-        print(
-            f"unknown system(s) {', '.join(unknown)}; "
-            f"choose from: {', '.join(sorted(CHAOS_SYSTEMS))}",
-            file=sys.stderr,
-        )
+    systems = _choose(args.systems, CHAOS_SYSTEMS)
+    if systems is None:
         return 2
     reports = audit_seeds(
         seeds=args.seeds,
@@ -268,17 +302,153 @@ def _run_audit(args) -> int:
             "lifecycle invariants at quiesce",
         )
     )
-    failures = [r for r in reports if not r.ok]
-    if failures:
-        print("\ninvariant violations:", file=sys.stderr)
-        for report in failures:
-            for violation in report.violations:
-                print(
-                    f"  {report.case.system} seed={report.case.seed}: {violation}",
-                    file=sys.stderr,
-                )
+    if _report_violations(
+        [r for r in reports if not r.ok],
+        lambda r: f"{r.case.system} seed={r.case.seed}",
+    ):
         return 1
     print("\nall invariants held across every seeded interleaving.")
+    return 0
+
+
+def _run_scenario(args) -> int:
+    """``repro scenario``: the declarative multi-model scenario engine."""
+    from repro.scenarios import SCENARIOS, run_scenarios
+    from repro.validation.chaos import CHAOS_SYSTEMS
+
+    if args.scenario_command == "list":
+        rows = [
+            {
+                "scenario": spec.name,
+                "cluster": spec.cluster,
+                "models": ", ".join(spec.model_names),
+                "events": len(spec.events),
+                "traffic (s)": f"{spec.duration:g}",
+                "description": spec.description,
+            }
+            for spec in SCENARIOS.values()
+        ]
+        print(
+            _rows_table(
+                rows, "Scenario catalog (python -m repro scenario run <name>)"
+            )
+        )
+        return 0
+
+    # run
+    if args.all and args.scenarios:
+        print(
+            "pass scenario names or --all, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.all and not args.scenarios:
+        print(
+            "no scenarios selected: name one or more, or pass --all "
+            f"(available: {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+    names = _choose(args.scenarios, SCENARIOS, what="scenario")
+    if names is None:
+        return 2
+    systems = _choose(args.systems, CHAOS_SYSTEMS)
+    if systems is None:
+        return 2
+    reports = run_scenarios(
+        [SCENARIOS[n] for n in names],
+        systems,
+        seed=args.seed,
+        quick=args.quick,
+        runner=_runner_from(args),
+    )
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "scenario": report.scenario,
+                "system": report.system,
+                "violations": len(report.violations),
+                "offered": report.offered,
+                "completed": report.completed,
+                "shed": report.shed,
+                "goodput": f"{report.aggregate.goodput_rate:.1%}"
+                if report.aggregate
+                else "-",
+                "p99 (s)": f"{report.aggregate.latency_percentiles[99]:.2f}"
+                if report.aggregate
+                else "-",
+                "events": ", ".join(
+                    f"{k}x{v}" for k, v in report.events.items()
+                )
+                or "-",
+            }
+        )
+    print(
+        _rows_table(
+            rows,
+            f"Scenario sweep - {len(names)} scenario(s) x "
+            f"{len(systems)} system(s), invariants audited",
+        )
+    )
+    if args.per_model:
+        model_rows = []
+        for report in reports:
+            for model, summary in report.per_model.items():
+                model_rows.append(
+                    {
+                        "scenario": report.scenario,
+                        "system": report.system,
+                        "model": model,
+                        # Per-model rows count *admitted* work (gate-shed
+                        # requests never reach a tenant); the sweep table's
+                        # "offered" is everything generated, shed included.
+                        "admitted": summary.offered,
+                        "completed": summary.completed,
+                        "goodput": f"{summary.goodput_rate:.1%}",
+                        "mean lat (s)": f"{summary.mean_latency:.2f}",
+                        "p99 (s)": f"{summary.latency_percentiles[99]:.2f}",
+                    }
+                )
+        print()
+        print(_rows_table(model_rows, "Per-model breakdown"))
+    if _report_violations(
+        [r for r in reports if not r.ok],
+        lambda r: f"{r.scenario} x {r.system} seed={r.seed}",
+    ):
+        return 1
+    print("\nall scenario runs held every lifecycle invariant.")
+    return 0
+
+
+def _run_fuzz(args) -> int:
+    """``repro fuzz``: direct migration/link-layer fuzzing."""
+    from repro.validation.migration_fuzz import fuzz_seeds
+
+    reports = fuzz_seeds(seeds=args.seeds, runner=_runner_from(args))
+    rows = [
+        {
+            "seed": r.case.seed,
+            "schedules": r.schedules,
+            "items": r.items,
+            "link workloads": r.transfers,
+            "violations": len(r.violations),
+        }
+        for r in reports
+    ]
+    print(
+        _rows_table(
+            rows,
+            f"Migration-layer fuzz - {args.seeds} seed(s): LPT scheduling "
+            "invariants + fair-share link physics",
+        )
+    )
+    if _report_violations(
+        [r for r in reports if not r.ok],
+        lambda r: f"seed={r.case.seed}",
+    ):
+        return 1
+    print("\nall migration schedules and link workloads held their invariants.")
     return 0
 
 
@@ -423,6 +593,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="traffic/chaos window per case in simulated seconds",
     )
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative multi-model scenarios: list the catalog or run "
+        "scripted runs (phased arrivals + timed disturbances) with the "
+        "invariant auditor attached",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="show the scenario catalog")
+    scenario_run = scenario_sub.add_parser("run", help="run scenarios")
+    scenario_run.add_argument(
+        "scenarios", nargs="*", help="scenario names (see `repro scenario list`)"
+    )
+    scenario_run.add_argument(
+        "--all", action="store_true", help="run every catalog scenario"
+    )
+    scenario_run.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        help="systems to run (default: FlexPipe and every baseline)",
+    )
+    scenario_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="time-compressed variants (up to ~3x shorter traffic "
+        "windows; compression is capped so no segment drops below 5 s)",
+    )
+    scenario_run.add_argument(
+        "--per-model",
+        action="store_true",
+        help="also print the per-model breakdown table",
+    )
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the transfer/migration layer directly: random "
+        "MigrationItem sets vs LPT scheduling invariants, random "
+        "contention vs link physics",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=10, help="seeded cases (default 10)"
+    )
     trace = sub.add_parser("trace", help="synthesise / inspect Azure-style traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     synth = trace_sub.add_parser("synth", help="write a synthetic trace CSV")
@@ -449,6 +660,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     if args.command == "trace":
         print(_run_trace(args))
         return 0

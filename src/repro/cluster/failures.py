@@ -245,6 +245,14 @@ class FailureInjector:
         # (possibly none on a packed GPU) and the periodic chain swallows
         # memory the draining victims release while the downtime runs.
         gpu.cordoned = True
+        # Reclamation notification (before the blocker absorbs free bytes):
+        # systems abort in-flight refactor transitions whose *prepared*
+        # reservations sit on the victim — those are stages of no replica,
+        # so the drain above cannot reach them — and the memory they free
+        # is swallowed by the top-up below, inside the downtime window.
+        hook = getattr(self.system, "on_gpu_reclaimed", None)
+        if hook is not None:
+            hook(gpu)
         self._blocked[gpu.gid] = 0.0
         self._block_stamp[gpu.gid] = event.time
         self._top_up(gpu, event.time)

@@ -252,6 +252,12 @@ class FlexPipeSystem(ServingSystem):
                         break
 
     # ------------------------------------------------------------------
+    def on_gpu_reclaimed(self, gpu) -> None:
+        """Abort refactor transitions holding prepared stages on ``gpu``."""
+        for state in self._models.values():
+            state.executor.abort_on_cordon(gpu)
+
+    # ------------------------------------------------------------------
     def shutdown(self) -> None:
         super().shutdown()
         self._controller.stop()

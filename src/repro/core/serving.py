@@ -101,6 +101,16 @@ class ServingSystem(abc.ABC):
         return list(seen.values())
 
     # ------------------------------------------------------------------
+    def on_gpu_reclaimed(self, gpu) -> None:
+        """Platform notification: ``gpu`` was just cordoned for reclamation.
+
+        Base systems hold no state outside their replicas (which the
+        injector drains itself); FlexPipe overrides this to abort in-flight
+        refactor transitions whose *prepared* reservations sit on the
+        victim, releasing that memory inside the downtime window.
+        """
+
+    # ------------------------------------------------------------------
     def max_cv(self) -> float:
         """Largest per-model inter-arrival CV, cached per refresh interval."""
         now = self.sim.now

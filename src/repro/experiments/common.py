@@ -22,7 +22,11 @@ from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomStreams
 from repro.workloads.arrivals import ArrivalProcess, MMPPArrivals, make_arrivals
 from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.requests import LengthDistribution, RequestSampler
+from repro.workloads.requests import (
+    LengthDistribution,
+    RequestSampler,
+    rid_namespace,
+)
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,10 @@ class ExperimentConfig:
     # something to multiplex with, as in the paper's multi-model cluster.
     background_model: str | None = None
     background_qps: float = 6.0
+    # Additional co-resident tenants beyond the primary (and optional
+    # background) model: the scenario engine and multi-model chaos cases
+    # deploy a whole fleet through the same factories.
+    extra_models: tuple[str, ...] = ()
     max_events: int = 30_000_000
 
     @property
@@ -62,6 +70,9 @@ class ExperimentConfig:
         out = [get_model(self.model)]
         if self.background_model is not None:
             out.append(get_model(self.background_model))
+        for name in self.extra_models:
+            if name != self.model and name != self.background_model:
+                out.append(get_model(name))
         return out
 
 
@@ -92,11 +103,16 @@ def make_workload_sampler(
         prompt=LengthDistribution(median=cfg.prompt_median, sigma=0.6, lo=16, hi=4096),
         output=LengthDistribution(median=cfg.output_median, sigma=0.7, lo=1, hi=256),
         slo_latency=cfg.slo_latency,
+        # Tagged samplers (background/extra tenants) mint rids in their own
+        # namespace so multi-tenant runs keep ids globally unique.
+        rid_base=rid_namespace(tag),
     )
 
 
-def make_arrival_process(cfg: ExperimentConfig, streams: RandomStreams) -> ArrivalProcess:
-    rng = streams.stream("arrivals")
+def make_arrival_process(
+    cfg: ExperimentConfig, streams: RandomStreams, tag: str = ""
+) -> ArrivalProcess:
+    rng = streams.stream(f"arrivals{tag}")
     if cfg.use_mmpp and cfg.cv > 1.0:
         return MMPPArrivals.with_cv(cfg.qps, cfg.cv, rng, mean_cycle=cfg.burst_cycle)
     return make_arrivals(cfg.qps, cfg.cv, rng)

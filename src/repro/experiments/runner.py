@@ -163,7 +163,12 @@ def cache_key(task: RunTask, fingerprint: str | None = None) -> str:
 
 
 class ResultCache:
-    """Pickle-per-key cache of ``(RunSummary, extra)`` pairs."""
+    """Pickle-per-key cache of ``(value, reserved)`` pairs.
+
+    Figure cells store ``value = (RunSummary, extra)``; scenario cells
+    store their report.  The second slot is reserved (always ``None``)
+    so a ``None`` value stays distinguishable from a miss.
+    """
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -264,32 +269,11 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_tasks(self, tasks: list[RunTask]) -> list[RunResult]:
         """Run every task, returning results in task order."""
-        results: list[RunResult | None] = [None] * len(tasks)
-        pending: list[int] = []
-        for i, task in enumerate(tasks):
-            if self.use_cache:
-                hit = self.cache.get(cache_key(task, self._fingerprint))
-                if hit is not None:
-                    summary, extra = hit
-                    results[i] = RunResult(task, summary, extra, cached=True)
-                    self.cache_hits += 1
-                    continue
-            pending.append(i)
-
-        if pending:
-            todo = [tasks[i] for i in pending]
-            if self.jobs > 1 and len(todo) > 1:
-                outcomes = list(self._get_pool().map(execute_task, todo))
-            else:
-                outcomes = [execute_task(task) for task in todo]
-            for i, (summary, extra) in zip(pending, outcomes):
-                self.simulations_run += 1
-                results[i] = RunResult(tasks[i], summary, extra)
-                if self.use_cache:
-                    self.cache.put(
-                        cache_key(tasks[i], self._fingerprint), (summary, extra)
-                    )
-        return results  # type: ignore[return-value]
+        pairs = self._cached_map(execute_task, tasks, cache_key)
+        return [
+            RunResult(task, summary, extra, cached=cached)
+            for task, ((summary, extra), cached) in zip(tasks, pairs)
+        ]
 
     def run_task(self, task: RunTask) -> RunResult:
         return self.run_tasks([task])[0]
@@ -305,6 +289,67 @@ class ExperimentRunner:
         if self.jobs > 1 and len(items) > 1:
             return list(self._get_pool().map(fn, items))
         return [fn(item) for item in items]
+
+    def cached_map(
+        self,
+        fn: Callable,
+        items: list,
+        key_fn: Callable,
+        *,
+        cacheable: Callable[[Any], bool] | None = None,
+    ) -> list:
+        """Like :meth:`map`, but consulting the result cache per item.
+
+        ``key_fn(item, fingerprint)`` must return the item's content
+        hash.  Figure cells (:meth:`run_tasks`) and ad-hoc workloads
+        (scenario cells) both run through the same underlying protocol,
+        so fingerprint epoch, hit/run counters and get/put ordering live
+        in exactly one place.  ``cacheable(value)`` may veto persisting
+        an individual result (e.g. a report describing a transient
+        harness crash, which must re-execute next time).
+        """
+        return [
+            value
+            for value, _ in self._cached_map(
+                fn, items, key_fn, cacheable=cacheable
+            )
+        ]
+
+    def _cached_map(
+        self,
+        fn: Callable,
+        items: list,
+        key_fn: Callable,
+        *,
+        cacheable: Callable[[Any], bool] | None = None,
+    ) -> list[tuple[Any, bool]]:
+        """The cache protocol: ``(value, was_cached)`` per item, in order.
+
+        Values round-trip on disk as ``(value, None)`` pairs (the second
+        slot is reserved), so a legitimately-``None`` value is still
+        distinguishable from a cache miss.
+        """
+        items = list(items)
+        results: list[tuple[Any, bool] | None] = [None] * len(items)
+        pending: list[int] = []
+        for i, item in enumerate(items):
+            if self.use_cache:
+                hit = self.cache.get(key_fn(item, self._fingerprint))
+                if hit is not None:
+                    results[i] = (hit[0], True)
+                    self.cache_hits += 1
+                    continue
+            pending.append(i)
+        if pending:
+            outcomes = self.map(fn, [items[i] for i in pending])
+            for i, value in zip(pending, outcomes):
+                self.simulations_run += 1
+                results[i] = (value, False)
+                if self.use_cache and (cacheable is None or cacheable(value)):
+                    self.cache.put(
+                        key_fn(items[i], self._fingerprint), (value, None)
+                    )
+        return results  # type: ignore[return-value]
 
 
 def make_runner(

@@ -83,8 +83,13 @@ class RefactoringExecutor:
         self.batch_cap = batch_cap
         self.transitions_started = 0
         self.transitions_completed = 0
+        self.transitions_aborted = 0
         self.consistency_checks = 0
         self._inflight: set[str] = set()
+        # In-flight transitions by replica name; kept so a platform
+        # reclamation can abort them (and free their prepared
+        # reservations) the moment a victim GPU is cordoned.
+        self._transitions: dict[str, tuple[PipelineReplica, TransitionPlan, object]] = {}
 
     # ------------------------------------------------------------------
     def refactoring(self, replica: PipelineReplica) -> bool:
@@ -107,8 +112,43 @@ class RefactoringExecutor:
         # Decision latency, then the asynchronous preparation window (old
         # chain keeps serving), then the switch pause.
         total = self.decision_latency + plan.duration + self.switch_pause
-        self.ctx.sim.schedule(total, self._switch, replica, plan)
+        event = self.ctx.sim.schedule(total, self._switch, replica, plan)
+        self._transitions[replica.name] = (replica, plan, event)
         return True
+
+    # ------------------------------------------------------------------
+    def abort_on_cordon(self, gpu) -> int:
+        """Abort every in-flight transition with a prepared stage on ``gpu``.
+
+        A prepared reservation is not a stage of any replica, so a
+        reclamation drain cannot reach it; without this hook the memory
+        would sit on the reclaimed GPU until the (cancelled) switch fired.
+        Serverless platforms notify instances at reclamation time, so the
+        executor releases the prepared chain immediately — inside the
+        downtime window — and the transition simply never happens.
+        Returns the number of transitions aborted.
+        """
+        aborted = 0
+        for name, (replica, plan, event) in list(self._transitions.items()):
+            if not any(r.gpu is gpu for r in plan.reservations):
+                continue
+            event.cancel()
+            for reservation in plan.reservations:
+                if not reservation.released:
+                    self.ctx.allocator.release(reservation)
+            del self._transitions[name]
+            self._inflight.discard(name)
+            self.transitions_aborted += 1
+            aborted += 1
+            self.metrics.on_event(
+                ScalingEvent(
+                    time=self.ctx.sim.now,
+                    kind="refactor_aborted",
+                    detail=f"{replica.name} -> {plan.target_stages} stages "
+                    f"(reclaimed {gpu.gid})",
+                )
+            )
+        return aborted
 
     # ------------------------------------------------------------------
     def _prepare(
@@ -289,6 +329,7 @@ class RefactoringExecutor:
         sim = self.ctx.sim
         model = self.profile.spec.name
         self._inflight.discard(replica.name)
+        self._transitions.pop(replica.name, None)
         if replica.state in (ReplicaState.DRAINING, ReplicaState.RELEASED) or any(
             r.gpu.cordoned for r in plan.reservations
         ):

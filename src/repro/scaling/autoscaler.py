@@ -81,20 +81,43 @@ class Autoscaler:
         self._process.stop()
 
     # ------------------------------------------------------------------
-    def replica_throughput(self, plan: PartitionPlan) -> float:
-        key = (plan.n_stages, plan.max_batch)
+    def replica_throughput(
+        self, plan: PartitionPlan, batch: int | None = None
+    ) -> float:
+        """Estimated req/s of one replica of ``plan`` serving at ``batch``.
+
+        ``batch`` defaults to the plan's maximum (clipped by the operating
+        batch cap); pass a replica's *effective* batch to price in memory
+        degradation.
+        """
+        cfg = self.config
+        effective = min(
+            batch if batch is not None else plan.max_batch,
+            cfg.batch_cap or plan.max_batch,
+        )
+        effective = max(effective, 1)
+        key = (plan.n_stages, effective)
         value = self._throughput_cache.get(key)
         if value is None:
-            cfg = self.config
             value = estimate_throughput(
                 self.profile,
                 plan,
-                batch=min(plan.max_batch, cfg.batch_cap or plan.max_batch),
+                batch=effective,
                 prompt_tokens=cfg.prompt_tokens,
                 output_tokens=cfg.output_tokens,
             )
             self._throughput_cache[key] = value
         return value
+
+    def replica_capacity(self, replica: PipelineReplica) -> float:
+        """Live capacity of one deployed replica.
+
+        Uses the replica's *effective* ``max_batch`` (memory degradation
+        may have halved it below ``plan.max_batch``), so a degraded fleet
+        is not over-estimated — the over-estimate used to suppress burst
+        scale-outs exactly when capacity was most impaired.
+        """
+        return self.replica_throughput(replica.plan, batch=replica.max_batch)
 
     # ------------------------------------------------------------------
     def tick(self) -> None:
@@ -124,7 +147,7 @@ class Autoscaler:
         )
         # Burst pressure: queued work the current capacity cannot clear in
         # one SLO budget demands more instances now (Eq. 12 spirit).
-        capacity_now = sum(self.replica_throughput(r.plan) for r in active)
+        capacity_now = sum(self.replica_capacity(r) for r in active)
         if queue > cfg.queue_factor * max(capacity_now * cfg.interval, 1.0):
             backlog_units = math.ceil(
                 queue / max(per_replica * cfg.slo_deadline * 0.5, 1.0)

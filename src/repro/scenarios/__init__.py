@@ -1,0 +1,40 @@
+"""Declarative scenario engine for multi-model paper-cluster runs.
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and friends: pure
+  data describing a cluster, a fleet of tenants with phased arrival
+  scripts, and a timed disturbance script (JSON round-trippable);
+* :mod:`repro.scenarios.driver` — compiles a spec onto the simulator,
+  runs it against any registered system with the invariant auditor
+  attached, and emits per-model + aggregate summaries;
+* :mod:`repro.scenarios.library` — the named catalog
+  (``repro scenario list`` / ``repro scenario run``).
+"""
+
+from repro.scenarios.driver import (
+    ScenarioCase,
+    ScenarioDriver,
+    ScenarioReport,
+    run_scenario_case,
+    run_scenarios,
+)
+from repro.scenarios.library import SCENARIOS, get_scenario
+from repro.scenarios.spec import (
+    ArrivalSegment,
+    ModelScript,
+    ScenarioEvent,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ArrivalSegment",
+    "ModelScript",
+    "ScenarioCase",
+    "ScenarioDriver",
+    "ScenarioEvent",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario_case",
+    "run_scenarios",
+]

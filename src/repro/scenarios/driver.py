@@ -1,0 +1,426 @@
+"""Compiles a :class:`ScenarioSpec` onto the simulator and runs it.
+
+One :class:`ScenarioCase` = (spec, system, seed).  The driver builds the
+cluster, deploys the system through the same factories the paper sweeps
+use, schedules every arrival segment and scripted event as simulator
+processes, attaches the :class:`~repro.validation.auditor.InvariantAuditor`
+(mid-run after every scripted event, the full set at quiesce) and emits
+per-model plus aggregate :class:`~repro.metrics.collector.RunSummary`
+rows.  Cases are plain data, so ``run_scenarios`` fans them out through
+the parallel experiment runner and caches results exactly like figure
+cells (same ``.runcache/``, same code-fingerprint invalidation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.allocator import AllocationError
+from repro.cluster.failures import (
+    FailureInjector,
+    ReclamationPolicy,
+    VictimChoice,
+)
+from repro.core.admission import AdmissionGate, QueueCapPolicy
+from repro.core.context import ServingContext
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_environment,
+    make_workload_sampler,
+)
+from repro.metrics.collector import MetricsCollector, RunSummary
+from repro.scenarios.spec import ArrivalSegment, ScenarioSpec
+from repro.validation.auditor import InvariantAuditor, Violation
+from repro.validation.chaos import (
+    CHAOS_SYSTEMS,
+    action_drain,
+    action_refactor,
+    action_scale_out,
+)
+from repro.workloads.arrivals import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    make_arrivals,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.traces import DiurnalTrace, DiurnalTraceConfig
+
+MAX_EVENTS = 30_000_000
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One scenario run: a spec bound to a system and a seed."""
+
+    spec: ScenarioSpec
+    system: str = "FlexPipe"
+    seed: int = 0
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario case (picklable, pool-safe)."""
+
+    scenario: str
+    system: str
+    seed: int
+    violations: list[Violation] = field(default_factory=list)
+    aggregate: RunSummary | None = None
+    per_model: dict[str, RunSummary] = field(default_factory=dict)
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    events: dict[str, int] = field(default_factory=dict)
+    horizon: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# Segment compilation
+# ----------------------------------------------------------------------
+def _make_segment_arrivals(
+    segment: ArrivalSegment, rng, trace_rng
+):
+    """Build the arrival process for one segment (at the segment's start)."""
+    if segment.kind == "steady":
+        return make_arrivals(segment.qps, segment.cv, rng)
+    if segment.kind == "burst":
+        # Spec validation guarantees cv > 1 (MMPP's requirement), so the
+        # declared intensity is honoured exactly.
+        return MMPPArrivals.with_cv(
+            segment.qps, segment.cv, rng, mean_cycle=segment.burst_cycle
+        )
+    if segment.kind == "diurnal":
+        return DiurnalArrivals(
+            segment.qps, rng, amplitude=segment.amplitude, period=segment.period
+        )
+    # replay: a seeded synthetic production trace compressed into the
+    # segment (one "day" per segment), scaled to the requested mean rate.
+    trace = DiurnalTrace(
+        trace_rng,
+        DiurnalTraceConfig(
+            base_rate=segment.qps,
+            day_seconds=max(segment.duration, 1.0),
+            burst_factor=8.0,
+            burst_rate_per_hour=3600.0 / max(segment.duration, 1.0),
+            burst_mean_duration=max(segment.duration * 0.05, 1.0),
+        ),
+    )
+    from repro.workloads.arrivals import ReplayArrivals
+
+    return ReplayArrivals(trace.generate(segment.duration), rng)
+
+
+class ScenarioDriver:
+    """Runs one compiled scenario end-to-end."""
+
+    def __init__(self, case: ScenarioCase):
+        if case.system not in CHAOS_SYSTEMS:
+            raise KeyError(
+                f"unknown system {case.system!r}; "
+                f"available: {sorted(CHAOS_SYSTEMS)}"
+            )
+        self.case = case
+        self.spec = case.spec
+        self.generators: dict[str, list[WorkloadGenerator]] = {
+            m.model: [] for m in self.spec.models
+        }
+        self.event_counts: dict[str, int] = {}
+        self.violations: dict[tuple[str, str], Violation] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioReport:
+        spec, case = self.spec, self.case
+        primary = spec.models[0]
+        cfg = ExperimentConfig(
+            model=primary.model,
+            qps=max(s.qps for s in primary.segments),
+            cv=max(s.cv for s in primary.segments),
+            duration=spec.duration,
+            seed=case.seed,
+            slo_latency=primary.slo_latency,
+            settle_time=spec.settle,
+            prompt_median=primary.prompt_median,
+            output_median=primary.output_median,
+            batch_cap=spec.batch_cap,
+            cluster=spec.cluster,
+            fragmentation=spec.fragmentation,
+            extra_models=tuple(m.model for m in spec.models[1:]),
+        )
+        self.cfg = cfg
+        sim, cluster, streams, fragmentation = build_environment(cfg)
+        self.sim = sim
+        self.streams = streams
+        self.cluster = cluster
+        ctx = ServingContext.create(sim, cluster, streams)
+        overrides = (
+            {}
+            if spec.initial_replicas is None
+            else {"initial_replicas": spec.initial_replicas}
+        )
+        system = CHAOS_SYSTEMS[case.system](ctx, cfg, **overrides)
+        self.system = system
+        try:
+            system.start()
+        except AllocationError:
+            # Cold start on a fragmented cluster may not fit the whole
+            # fleet; the system serves with what it got (atomic per
+            # replica) and its control loops recover — part of the test.
+            pass
+        sim.run(until=spec.settle, max_events=MAX_EVENTS)
+
+        epoch = spec.settle
+        self.epoch = epoch
+        system.reset_measurement_epoch()
+        policy = (
+            QueueCapPolicy(self._total_queue, int(spec.admission_cap))
+            if spec.admission_cap
+            else None
+        )
+        self.gate = AdmissionGate(system.submit, policy)
+        self.auditor = InvariantAuditor(system, gates=[self.gate])
+        self.injector = FailureInjector(
+            sim,
+            cluster,
+            self.streams.stream("scenario-failures"),
+            system,
+            policy=ReclamationPolicy(
+                mtbf=1e12,  # events only fire from the script
+                downtime_mean=spec.downtime_mean,
+                choice=VictimChoice.SERVING_BIASED,
+            ),
+        )
+        self._schedule_segments(epoch)
+        self._schedule_events(epoch)
+
+        sim.run(until=epoch + spec.duration + spec.drain, max_events=MAX_EVENTS)
+        self.injector.stop()
+        system.shutdown()
+        if fragmentation is not None:
+            fragmentation.stop()
+        sim.run_until_idle(max_events=MAX_EVENTS)
+
+        all_generators = [g for gens in self.generators.values() for g in gens]
+        self.auditor.generators = all_generators
+        self._record(self.auditor.audit_quiesce())
+        return self._report(epoch)
+
+    # ------------------------------------------------------------------
+    def _total_queue(self) -> int:
+        return sum(r.total_queue for r in self.system.all_routers().values())
+
+    def _record(self, violations: list[Violation]) -> None:
+        for violation in violations:
+            self.violations.setdefault(
+                (violation.invariant, violation.detail), violation
+            )
+
+    # ------------------------------------------------------------------
+    def _schedule_segments(self, epoch: float) -> None:
+        for script in self.spec.models:
+            model_cfg = replace(
+                self.cfg,
+                model=script.model,
+                prompt_median=script.prompt_median,
+                output_median=script.output_median,
+                slo_latency=script.slo_latency,
+                extra_models=(),
+            )
+            for i, segment in enumerate(script.segments):
+                self.sim.schedule_at(
+                    epoch + segment.start,
+                    self._start_segment,
+                    script.model,
+                    model_cfg,
+                    segment,
+                    i,
+                )
+
+    def _start_segment(
+        self, model: str, model_cfg: ExperimentConfig, segment: ArrivalSegment, index: int
+    ) -> None:
+        tag = f"_{model}_s{index}"
+        arrivals = _make_segment_arrivals(
+            segment,
+            self.streams.stream(f"arrivals{tag}"),
+            self.streams.stream(f"trace{tag}"),
+        )
+        sampler = make_workload_sampler(
+            model_cfg, self.streams, model=model, tag=tag
+        )
+        generator = WorkloadGenerator(
+            self.sim, arrivals, sampler, self.gate.submit, segment.duration
+        )
+        self.generators[model].append(generator)
+
+    # ------------------------------------------------------------------
+    def _schedule_events(self, epoch: float) -> None:
+        for event in self.spec.events:
+            self.sim.schedule_at(epoch + event.at, self._fire_event, event)
+
+    def _fire_event(self, event) -> None:
+        rng = self.streams.stream("scenario-events")
+        for _ in range(event.count):
+            if event.action == "reclaim":
+                outcome = "ok" if self.injector.inject() is not None else "noop"
+            elif event.action == "fail_server":
+                outcome = self._fail_server(rng)
+            elif event.action == "drain":
+                outcome = action_drain(self.system, rng, model=event.model)
+            elif event.action == "refactor":
+                outcome = action_refactor(
+                    self.system,
+                    rng,
+                    model=event.model,
+                    target_stages=event.target_stages,
+                )
+            else:  # scale_out
+                outcome = action_scale_out(self.system, rng, model=event.model)
+            key = f"{event.action}:{outcome}"
+            self.event_counts[key] = self.event_counts.get(key, 0) + 1
+        # Audit immediately: a violation is attributed to the event that
+        # exposed it, not discovered minutes later at quiesce.
+        self._record(self.auditor.audit_running())
+
+    def _fail_server(self, rng) -> str:
+        """Reclaim every GPU of one (seeded-random) multi-GPU server."""
+        servers = [s for s in self.cluster.servers if len(s.gpus) > 1]
+        pool = servers or list(self.cluster.servers)
+        if not pool:
+            return "noop"
+        server = pool[int(rng.integers(len(pool)))]
+        fired = sum(
+            1 for gpu in server.gpus if self.injector.inject(gpu) is not None
+        )
+        return "ok" if fired else "noop"
+
+    # ------------------------------------------------------------------
+    def _report(self, epoch: float) -> ScenarioReport:
+        spec = self.spec
+        measured = max(spec.duration, 1.0) + spec.drain
+        aggregate = self.system.summarize(measured)
+        per_model: dict[str, RunSummary] = {}
+        for script in spec.models:
+            per_model[script.model] = self._model_summary(
+                script.model, measured, epoch
+            )
+        offered = sum(
+            g.offered for gens in self.generators.values() for g in gens
+        )
+        completed = len({r.rid for r in self.system.metrics.records})
+        return ScenarioReport(
+            scenario=spec.name,
+            system=self.case.system,
+            seed=self.case.seed,
+            violations=list(self.violations.values()),
+            aggregate=aggregate,
+            per_model=per_model,
+            offered=offered,
+            completed=completed,
+            shed=self.gate.stats.rejected,
+            events=dict(sorted(self.event_counts.items())),
+            horizon=spec.horizon,
+        )
+
+    def _model_summary(
+        self, model: str, measured: float, epoch: float
+    ) -> RunSummary:
+        """Per-tenant summary of *admitted* and completed work.
+
+        Gate-shed requests never reach a tenant, so they are excluded
+        here (the summary's ``offered`` means admitted); the report's
+        top-level ``offered`` counts everything generated, with ``shed``
+        carrying the difference.
+        """
+        collector = MetricsCollector(f"{self.case.system}:{model}")
+        for generator in self.generators[model]:
+            for request in generator.requests:
+                if not request.rejected:
+                    collector.on_submit(request)
+        collector.records = [
+            r for r in self.system.metrics.records if r.model == model
+        ]
+        return collector.summarize(measured, measure_from=epoch)
+
+
+# ----------------------------------------------------------------------
+# Case execution + fan-out
+# ----------------------------------------------------------------------
+def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
+    """Run one scenario case; any crash becomes a ``harness-crash`` finding
+    on the report (the (scenario, system, seed) reproducer contract)."""
+    try:
+        return ScenarioDriver(case).run()
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return ScenarioReport(
+            scenario=case.spec.name,
+            system=case.system,
+            seed=case.seed,
+            violations=[
+                Violation("harness-crash", f"{type(exc).__name__}: {exc}")
+            ],
+        )
+
+
+_CACHE_VERSION = 1
+
+
+def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:
+    """Content hash of one scenario cell (same scheme as figure cells)."""
+    payload = {
+        "version": _CACHE_VERSION,
+        "code": fingerprint,
+        "system": case.system,
+        "seed": case.seed,
+        "spec": case.spec.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_scenarios(
+    specs: list[ScenarioSpec],
+    systems: list[str] | None = None,
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    runner=None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+) -> list[ScenarioReport]:
+    """Run every (scenario, system) cell, order-stable.
+
+    Cells fan out through the parallel experiment runner and consult its
+    on-disk result cache: re-running a scenario sweep only recomputes
+    cells whose spec, seed, or the source tree changed.
+    """
+    from repro.experiments.runner import make_runner
+
+    chosen = list(systems) if systems else sorted(CHAOS_SYSTEMS)
+    unknown = [s for s in chosen if s not in CHAOS_SYSTEMS]
+    if unknown:
+        raise KeyError(
+            f"unknown system(s) {unknown}; available: {sorted(CHAOS_SYSTEMS)}"
+        )
+    cases = [
+        ScenarioCase(spec.quick() if quick else spec, system, seed)
+        for spec in specs
+        for system in chosen
+    ]
+    exp_runner = make_runner(runner, jobs=jobs, use_cache=use_cache)
+    return exp_runner.cached_map(
+        run_scenario_case,
+        cases,
+        scenario_cache_key,
+        # A crash report describes the environment, not the scenario —
+        # persisting it would pin a transient failure until the next
+        # source edit.  Crashed cells always re-execute.
+        cacheable=lambda report: not any(
+            v.invariant == "harness-crash" for v in report.violations
+        ),
+    )

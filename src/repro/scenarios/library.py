@@ -1,0 +1,261 @@
+"""The named scenario catalog (``repro scenario list``).
+
+Each entry scripts one serving situation the paper's fragmented
+serverless setting produces; all run against any of the six systems with
+the invariant auditor attached.  Durations are sized so a full
+``repro scenario run --all`` stays in CI territory; ``--quick`` (the
+``ScenarioSpec.quick`` transform) compresses time a further ~3x.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    ArrivalSegment,
+    ModelScript,
+    ScenarioEvent,
+    ScenarioSpec,
+)
+
+PAPER_MULTI_BURST = ScenarioSpec(
+    name="paper-multi-burst",
+    description=(
+        "Paper-scale cluster multiplexing three models; staggered CV-8 "
+        "bursts hit each tenant in turn while the platform reclaims GPUs."
+    ),
+    cluster="paper",
+    settle=90.0,
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=8.0),
+                ArrivalSegment(
+                    "burst", start=10.0, duration=20.0, qps=10.0, cv=8.0
+                ),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=4.0),
+                ArrivalSegment(
+                    "burst", start=30.0, duration=20.0, qps=6.0, cv=8.0
+                ),
+            ),
+        ),
+        ModelScript(
+            "WHISPER-9B",
+            segments=(
+                ArrivalSegment(
+                    "burst", start=20.0, duration=30.0, qps=5.0, cv=4.0
+                ),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=15.0, action="reclaim"),
+        ScenarioEvent(at=35.0, action="reclaim", count=2),
+    ),
+    admission_cap=256,
+)
+
+TENANT_CHURN = ScenarioSpec(
+    name="tenant-churn",
+    description=(
+        "Tenants arrive and depart mid-run: capacity must follow each "
+        "model's traffic up and then back to the always-on floor."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=6.0),
+            ),
+        ),
+        ModelScript(
+            "WHISPER-9B",
+            segments=(  # arrives late, departs early
+                ArrivalSegment("steady", start=15.0, duration=25.0, qps=5.0, cv=2.0),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            segments=(  # arrives as WHISPER departs
+                ArrivalSegment("steady", start=35.0, duration=25.0, qps=4.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=20.0, action="scale_out", model="WHISPER-9B"),
+        ScenarioEvent(at=45.0, action="drain", model="WHISPER-9B"),
+        ScenarioEvent(at=50.0, action="scale_out", model="BERT-21B"),
+    ),
+    admission_cap=128,
+)
+
+RECLAMATION_STORM = ScenarioSpec(
+    name="reclamation-storm",
+    description=(
+        "The platform reclaims serving GPUs every few seconds under "
+        "steady traffic — the §7 immediate-reallocation regime at its "
+        "most hostile."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=50.0, qps=8.0, cv=2.0),
+            ),
+        ),
+    ),
+    events=tuple(
+        ScenarioEvent(at=float(t), action="reclaim")
+        for t in (10, 14, 18, 22, 26, 30, 34)
+    ),
+    downtime_mean=6.0,
+    admission_cap=128,
+)
+
+FAILURE_CASCADE = ScenarioSpec(
+    name="failure-cascade",
+    description=(
+        "Whole servers fail in sequence on the paper cluster; both "
+        "tenants must recover between shocks."
+    ),
+    cluster="paper",
+    settle=90.0,
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=8.0),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=4.0, cv=2.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=15.0, action="fail_server"),
+        ScenarioEvent(at=30.0, action="fail_server"),
+        ScenarioEvent(at=45.0, action="reclaim", count=2),
+    ),
+    downtime_mean=12.0,
+    admission_cap=256,
+)
+
+COLDSTART_WAVE = ScenarioSpec(
+    name="coldstart-wave",
+    description=(
+        "A nearly idle deployment (one always-on replica) hit by a "
+        "sudden wave — the serverless cold-start path end-to-end."
+    ),
+    cluster="small",
+    initial_replicas=1,
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=10.0, qps=1.0),
+                ArrivalSegment(
+                    "burst", start=10.0, duration=30.0, qps=14.0, cv=4.0
+                ),
+                ArrivalSegment("steady", start=40.0, duration=15.0, qps=2.0),
+            ),
+        ),
+    ),
+    events=(ScenarioEvent(at=12.0, action="scale_out"),),
+    admission_cap=96,
+)
+
+TRACE_REPLAY = ScenarioSpec(
+    name="trace-replay",
+    description=(
+        "Two tenants replay compressed synthetic production traces "
+        "(diurnal swing + burst episodes) while the operator forces "
+        "granularity refactors."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("replay", start=0.0, duration=60.0, qps=6.0),
+            ),
+        ),
+        ModelScript(
+            "WHISPER-9B",
+            segments=(
+                ArrivalSegment("replay", start=5.0, duration=50.0, qps=3.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=20.0, action="refactor", model="LLAMA2-7B", target_stages=8),
+        ScenarioEvent(at=40.0, action="refactor", model="LLAMA2-7B", target_stages=2),
+    ),
+    admission_cap=128,
+)
+
+DIURNAL_DRIFT = ScenarioSpec(
+    name="diurnal-drift",
+    description=(
+        "A compressed two-'day' diurnal cycle against a bursty "
+        "co-tenant: slow swings layered with short bursts (Fig. 1's "
+        "multi-window CV effect as a live workload)."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment(
+                    "diurnal", start=0.0, duration=60.0, qps=7.0,
+                    amplitude=0.7, period=30.0,
+                ),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            segments=(
+                ArrivalSegment(
+                    "burst", start=10.0, duration=40.0, qps=4.0, cv=4.0
+                ),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=25.0, action="drain"),
+        ScenarioEvent(at=35.0, action="reclaim"),
+    ),
+    admission_cap=128,
+)
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        PAPER_MULTI_BURST,
+        TENANT_CHURN,
+        RECLAMATION_STORM,
+        FAILURE_CASCADE,
+        COLDSTART_WAVE,
+        TRACE_REPLAY,
+        DIURNAL_DRIFT,
+    )
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a named scenario; raises ``KeyError`` with the catalog."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,290 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a plain-data description of one multi-model
+serving scenario on a fragmented cluster:
+
+* the **cluster** (paper-scale or small, fragmentation on/off);
+* a **fleet** of models, each with a *phased arrival script* — an ordered
+  list of :class:`ArrivalSegment` (steady / burst / diurnal / replay)
+  covering the tenant's lifetime, so tenants can arrive late and depart
+  early (churn);
+* a timed **event script** of platform/operator disturbances
+  (:class:`ScenarioEvent`): GPU reclamation, whole-server failure,
+  replica drain, forced refactor, forced scale-out.
+
+Everything round-trips through ``dict``/JSON (:meth:`ScenarioSpec.to_dict`
+/ :meth:`ScenarioSpec.from_dict`), so scenarios can live in files, CLI
+arguments or test parametrisations, and every spec is hashable content
+for the result cache.  The spec is *pure data*: compiling it onto a live
+simulator is :mod:`repro.scenarios.driver`'s job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.models.zoo import MODEL_ZOO
+
+SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay")
+EVENT_ACTIONS = ("reclaim", "fail_server", "drain", "refactor", "scale_out")
+CLUSTERS = ("paper", "small")
+
+
+@dataclass(frozen=True)
+class ArrivalSegment:
+    """One phase of a tenant's arrival script.
+
+    ``start`` is the offset (seconds) from the scenario's traffic epoch;
+    the segment offers traffic over ``[start, start + duration)``.
+
+    Kinds
+    -----
+    ``steady``
+        Renewal arrivals at ``qps`` with inter-arrival ``cv`` (Poisson at
+        cv=1, Gamma otherwise).
+    ``burst``
+        Sustained MMPP bursts (regime-switching) at mean ``qps``; ``cv``
+        sets the burst intensity, ``burst_cycle`` the episode timescale.
+    ``diurnal``
+        Sinusoidally modulated Poisson: mean ``qps``, peak-to-mean swing
+        ``amplitude``, full cycle ``period`` seconds (a compressed "day").
+    ``replay``
+        Replays a seeded synthetic production trace
+        (:class:`~repro.workloads.traces.DiurnalTrace`) scaled to ``qps``
+        mean rate; ``cv`` is ignored.
+    """
+
+    kind: str = "steady"
+    start: float = 0.0
+    duration: float = 30.0
+    qps: float = 5.0
+    cv: float = 1.0
+    burst_cycle: float = 30.0  # burst: mean calm+burst episode cycle (s)
+    amplitude: float = 0.6  # diurnal: peak swing as a fraction of qps
+    period: float = 120.0  # diurnal: seconds per synthetic "day"
+
+    def __post_init__(self) -> None:
+        if self.kind not in SEGMENT_KINDS:
+            raise ValueError(
+                f"unknown segment kind {self.kind!r}; choose from {SEGMENT_KINDS}"
+            )
+        if self.duration <= 0:
+            raise ValueError(f"segment duration must be positive: {self.duration}")
+        if self.start < 0:
+            raise ValueError(f"segment start cannot be negative: {self.start}")
+        if self.qps <= 0:
+            raise ValueError(f"segment qps must be positive: {self.qps}")
+        if self.cv <= 0:
+            raise ValueError(f"segment cv must be positive: {self.cv}")
+        if self.kind == "burst" and self.cv <= 1.0:
+            raise ValueError(
+                f"burst segments need cv > 1 (the MMPP burst intensity), "
+                f"got {self.cv}"
+            )
+        if not 0 <= self.amplitude < 1:
+            raise ValueError(
+                f"segment amplitude must be in [0,1): {self.amplitude}"
+            )
+        if self.period <= 0 or self.burst_cycle <= 0:
+            raise ValueError(
+                f"segment period/burst_cycle must be positive: "
+                f"{self.period}/{self.burst_cycle}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ModelScript:
+    """One tenant: a model plus its phased arrival script."""
+
+    model: str
+    segments: tuple[ArrivalSegment, ...] = (ArrivalSegment(),)
+    prompt_median: int = 128
+    output_median: int = 8
+    slo_latency: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.model not in MODEL_ZOO:
+            raise ValueError(
+                f"unknown model {self.model!r}; available: {sorted(MODEL_ZOO)}"
+            )
+        if not self.segments:
+            raise ValueError(f"{self.model}: at least one arrival segment required")
+
+    @property
+    def horizon(self) -> float:
+        """Offset at which this tenant's last segment ends."""
+        return max(s.end for s in self.segments)
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scripted disturbance, fired ``at`` seconds after traffic starts.
+
+    Actions
+    -------
+    ``reclaim``
+        The platform reclaims ``count`` serving-biased victim GPUs
+        (immediate cordon + drain, exponential downtime).
+    ``fail_server``
+        A whole server fails: every GPU of one (seeded-random) multi-GPU
+        server is reclaimed at once.
+    ``drain``
+        The operator scales in one replica (of ``model``, when given).
+    ``refactor``
+        Force an inflight refactor of one active replica of ``model``
+        toward ``target_stages`` (FlexPipe; a no-op on baselines).
+    ``scale_out``
+        Deploy one extra replica (of ``model``, random when omitted).
+    """
+
+    at: float
+    action: str
+    model: str | None = None
+    count: int = 1
+    target_stages: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in EVENT_ACTIONS:
+            raise ValueError(
+                f"unknown event action {self.action!r}; choose from {EVENT_ACTIONS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"event time cannot be negative: {self.at}")
+        if self.count < 1:
+            raise ValueError(f"event count must be >= 1: {self.count}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative scenario."""
+
+    name: str
+    models: tuple[ModelScript, ...]
+    events: tuple[ScenarioEvent, ...] = ()
+    cluster: str = "small"
+    fragmentation: bool = True
+    settle: float = 60.0  # initial loads complete before the traffic epoch
+    drain: float = 20.0  # grace window after the last segment ends
+    admission_cap: int = 0  # backlog cap across all routers; 0 = no gate
+    batch_cap: int = 16
+    downtime_mean: float = 10.0  # reclamation downtime (s, exponential)
+    initial_replicas: int | None = None  # None = the factory's provisioning
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cluster not in CLUSTERS:
+            raise ValueError(
+                f"unknown cluster {self.cluster!r}; choose from {CLUSTERS}"
+            )
+        if not self.models:
+            raise ValueError(f"scenario {self.name!r} needs at least one model")
+        names = [m.model for m in self.models]
+        if len(names) != len(set(names)):
+            raise ValueError(f"scenario {self.name!r} repeats a model: {names}")
+        for event in self.events:
+            if event.model is not None and event.model not in names:
+                raise ValueError(
+                    f"scenario {self.name!r} event at t={event.at:g} targets "
+                    f"model {event.model!r} not in the fleet {names}"
+                )
+        if self.settle < 0 or self.drain < 0:
+            raise ValueError("settle/drain cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Traffic window: from the epoch to the last segment end or event."""
+        horizon = max(m.horizon for m in self.models)
+        if self.events:
+            horizon = max(horizon, max(e.at for e in self.events) + 1.0)
+        return horizon
+
+    @property
+    def horizon(self) -> float:
+        """Total simulated time: settle + traffic + drain."""
+        return self.settle + self.duration + self.drain
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        return tuple(m.model for m in self.models)
+
+    # ------------------------------------------------------------------
+    # Serialisation (dict / JSON round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = dict(data)
+        data["models"] = tuple(
+            ModelScript(
+                **{
+                    **m,
+                    "segments": tuple(
+                        ArrivalSegment(**s) for s in m.get("segments", ())
+                    )
+                    or (ArrivalSegment(),),
+                }
+            )
+            for m in data.get("models", ())
+        )
+        data["events"] = tuple(
+            ScenarioEvent(**e) for e in data.get("events", ())
+        )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def quick(
+        self, factor: float = 3.0, *, min_segment: float = 5.0
+    ) -> "ScenarioSpec":
+        """A time-compressed variant for smoke tests (``--quick``).
+
+        Every segment offset, segment duration and event time shrinks by
+        one *uniform* effective factor — ``factor``, capped so the
+        shortest segment stays at least ``min_segment`` seconds — and
+        rates are kept.  Uniform scaling is what preserves the scenario's
+        *shape*: relative phasing (sequential phases stay sequential,
+        deliberate overlaps stay overlaps), burst-vs-trough structure and
+        event ordering all survive, while wall-clock cost drops roughly
+        linearly.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive: {factor}")
+        shortest = min(
+            s.duration for m in self.models for s in m.segments
+        )
+        effective = max(min(factor, shortest / min_segment), 1.0)
+
+        def shrink_segment(s: ArrivalSegment) -> ArrivalSegment:
+            return replace(
+                s,
+                start=s.start / effective,
+                duration=s.duration / effective,
+                burst_cycle=max(s.burst_cycle / effective, 5.0),
+                period=max(s.period / effective, 10.0),
+            )
+
+        return replace(
+            self,
+            name=f"{self.name}-quick",
+            models=tuple(
+                replace(m, segments=tuple(shrink_segment(s) for s in m.segments))
+                for m in self.models
+            ),
+            events=tuple(replace(e, at=e.at / effective) for e in self.events),
+            settle=self.settle,  # load times do not compress
+            drain=max(self.drain / effective, 10.0),
+        )

@@ -29,7 +29,7 @@ class RandomStreams:
         """Return (creating on first use) the generator for ``name``."""
         generator = self._streams.get(name)
         if generator is None:
-            seq = np.random.SeedSequence(self.seed, spawn_key=(_stable_hash(name),))
+            seq = np.random.SeedSequence(self.seed, spawn_key=(stable_hash(name),))
             generator = np.random.Generator(np.random.PCG64(seq))
             self._streams[name] = generator
         return generator
@@ -40,10 +40,19 @@ class RandomStreams:
         return self.stream(name)
 
 
-def _stable_hash(name: str) -> int:
-    """Deterministic 63-bit hash of a stream name (``hash()`` is salted)."""
+def stable_hash(name: str) -> int:
+    """Deterministic 63-bit FNV-1a hash of a name (``hash()`` is salted).
+
+    Shared by stream derivation and request-id namespacing — any
+    deterministic name-to-integer need should use this rather than grow
+    another copy of the loop.
+    """
     value = 0xCBF29CE484222325
     for byte in name.encode("utf-8"):
         value ^= byte
         value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
     return value & 0x7FFFFFFFFFFFFFFF
+
+
+# Backwards-compatible alias (pre-PR-3 private name).
+_stable_hash = stable_hash

@@ -110,12 +110,15 @@ class MigrationSchedule:
         """Total occupancy of the most loaded channel (the true bottleneck)."""
         load: dict[str, float] = {}
         for t in self.transfers:
-            for channel in _channels(t.item):
+            for channel in channels_of(t.item):
                 load[channel] = load.get(channel, 0.0) + t.plan.duration
         return max(load.values(), default=0.0)
 
 
-def _channels(item: MigrationItem) -> tuple[str, ...]:
+def channels_of(item: MigrationItem) -> tuple[str, ...]:
+    """The single-occupancy channels ``item`` occupies while in flight:
+    the server's PCIe lane for same-server moves, otherwise the source's
+    NIC egress plus the destination's NIC ingress (full-duplex)."""
     if item.same_server:
         return (f"{item.src.server_id}:pcie",)
     return (f"{item.src.server_id}:egress", f"{item.dst.server_id}:ingress")
@@ -165,7 +168,7 @@ class MigrationPlanner:
         free_at: dict[str, float] = {}
         schedule = MigrationSchedule()
         for item, plan in planned:
-            channels = _channels(item)
+            channels = channels_of(item)
             start = max((free_at.get(c, 0.0) for c in channels), default=0.0)
             end = start + plan.duration
             for c in channels:

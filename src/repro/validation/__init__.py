@@ -8,8 +8,13 @@ This package turns that claim into machine-checked conservation laws:
   system (cheap subset mid-run, the full set at simulation quiesce);
 * :class:`ChaosSchedule` / :func:`run_chaos_case` — seeded random
   interleavings of refactor / scale-out / scale-in / drain / failure
-  injection against random workloads, asserting the auditor after each
-  run (``repro audit --seeds N`` fans cases out via the parallel runner).
+  injection against random workloads — single-model small-cluster and
+  multi-model paper-cluster shapes — asserting the auditor after each
+  run (``repro audit --seeds N`` fans cases out via the parallel runner);
+* :mod:`repro.validation.migration_fuzz` — direct fuzzing of the
+  transfer/migration layer: random :class:`MigrationItem` sets against
+  the LPT planner's scheduling invariants and random contention
+  workloads against the fair-share link model (``repro fuzz``).
 """
 
 from repro.validation.auditor import (
@@ -19,21 +24,37 @@ from repro.validation.auditor import (
 )
 from repro.validation.chaos import (
     CHAOS_SYSTEMS,
+    PAPER_FLEETS,
     ChaosCase,
     ChaosReport,
     ChaosSchedule,
     audit_seeds,
+    paper_case,
     run_chaos_case,
+)
+from repro.validation.migration_fuzz import (
+    MigrationFuzzCase,
+    MigrationFuzzReport,
+    check_schedule,
+    fuzz_migration_case,
+    fuzz_seeds,
 )
 
 __all__ = [
     "CHAOS_SYSTEMS",
+    "PAPER_FLEETS",
     "ChaosCase",
     "ChaosReport",
     "ChaosSchedule",
     "InvariantAuditor",
     "InvariantViolationError",
+    "MigrationFuzzCase",
+    "MigrationFuzzReport",
     "Violation",
     "audit_seeds",
+    "check_schedule",
+    "fuzz_migration_case",
+    "fuzz_seeds",
+    "paper_case",
     "run_chaos_case",
 ]

@@ -17,17 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.allocator import AllocationError
-from repro.cluster.cluster import make_small_cluster
 from repro.cluster.failures import (
     FailureInjector,
     ReclamationPolicy,
     VictimChoice,
 )
-from repro.cluster.fragmentation import FragmentationModel
 from repro.core.admission import AdmissionGate, QueueCapPolicy
 from repro.core.context import ServingContext
 from repro.experiments.common import (
     ExperimentConfig,
+    build_environment,
     make_arrival_process,
     make_workload_sampler,
 )
@@ -53,15 +52,59 @@ CHAOS_SYSTEMS = dict(SYSTEM_FACTORIES, DistServe=_chaos_distserve)
 
 @dataclass(frozen=True)
 class ChaosCase:
-    """One seeded chaos scenario against one system."""
+    """One seeded chaos scenario against one system.
+
+    The default case is the PR-2 shape (one model, small cluster);
+    ``extra_models``/``cluster`` lift it to the paper's fragmented
+    multi-model setting, where refactors, drains and reclamations of one
+    tenant interleave with traffic of the others.
+    """
 
     system: str = "FlexPipe"
     seed: int = 0
     model: str = "LLAMA2-7B"
+    extra_models: tuple[str, ...] = ()
+    cluster: str = "small"  # "small" | "paper"
     settle: float = 60.0  # initial replicas load before traffic/chaos
     duration: float = 30.0  # traffic + chaos window
     mean_action_interval: float = 1.0  # mean gap between chaos actions (s)
     max_events: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if len(set(self.models)) != len(self.models):
+            raise ValueError(f"chaos case repeats a tenant: {self.models}")
+
+    @property
+    def models(self) -> tuple[str, ...]:
+        return (self.model, *self.extra_models)
+
+
+# Model fleets the paper-cluster chaos cases rotate through (kept small
+# models first so the common case stays fast; the OPT-66B fleet exercises
+# the big-checkpoint load/refactor paths).
+PAPER_FLEETS: tuple[tuple[str, ...], ...] = (
+    ("LLAMA2-7B", "BERT-21B"),
+    ("LLAMA2-7B", "WHISPER-9B", "BERT-21B"),
+    ("OPT-66B", "LLAMA2-7B"),
+)
+
+
+def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
+    """A paper-cluster multi-model chaos case for ``seed``.
+
+    ``kwargs`` take precedence over the fleet defaults, preserving
+    ``audit_seeds``' documented ``case_kwargs`` pass-through even for
+    keys the paper shape also sets (model, extra_models, cluster).
+    """
+    fleet = PAPER_FLEETS[seed % len(PAPER_FLEETS)]
+    fields = dict(model=fleet[0], extra_models=fleet[1:], cluster="paper")
+    fields.update(kwargs)
+    # A pinned primary may coincide with a fleet member; drop the
+    # duplicate so the case keeps one generator per tenant.
+    fields["extra_models"] = tuple(
+        m for m in fields["extra_models"] if m != fields["model"]
+    )
+    return ChaosCase(system=system, seed=seed, **fields)
 
 
 @dataclass
@@ -74,6 +117,8 @@ class ChaosReport:
     offered: int = 0
     completed: int = 0
     shed: int = 0
+    offered_by_model: dict[str, int] = field(default_factory=dict)
+    completed_by_model: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -145,69 +190,99 @@ class ChaosSchedule:
             )
 
     # ------------------------------------------------------------------
-    # Actions
+    # Actions (shared with the scenario engine's scripted events)
     # ------------------------------------------------------------------
-    def _pick_model(self) -> str:
-        names = sorted(self.system.specs)
-        return names[int(self.rng.integers(len(names)))]
-
     def _do_scale_out(self) -> str:
-        model = self._pick_model()
-        profile = self.system.profiles[model]
-        states = getattr(self.system, "_models", None)
-        deploy_decode = getattr(self.system, "_deploy_decode", None)
-        if states is not None:  # FlexPipe: random ladder rung
-            ladder = states[model].ladder
-            counts = ladder.stage_counts
-            plan = ladder.plan(int(counts[int(self.rng.integers(len(counts)))]))
-            deploy = lambda: self.system.factory.deploy(
-                profile, plan, batch_cap=self.system.batch_cap
-            )
-        elif deploy_decode is not None and self.rng.random() < 0.5:
-            # DistServe: also churn the decode pool, or drains could
-            # empty it permanently with the fuzzer never re-growing it.
-            deploy = lambda: deploy_decode(profile, model)
-        else:  # baselines: their fixed granularity
-            plan = self.system.plans[model]
-            deploy = lambda: self.system._deploy(profile, plan)
-        try:
-            deploy()
-        except AllocationError:
-            return "blocked"
-        return "ok"
+        return action_scale_out(self.system, self.rng)
 
     def _do_drain(self) -> str:
-        factory = self.system.factory
-        live = factory.live_replicas()
-        if not live:
-            return "noop"
-        factory.release(live[int(self.rng.integers(len(live)))])
-        return "ok"
+        return action_drain(self.system, self.rng)
 
     def _do_refactor(self) -> str:
-        states = getattr(self.system, "_models", None)
-        if not states:
-            return "unsupported"
-        model = self._pick_model()
-        state = states[model]
-        active = self.system.routers[model].active_replicas
-        if not active:
-            return "noop"
-        replica = active[int(self.rng.integers(len(active)))]
-        targets = [
-            c for c in state.ladder.stage_counts if c != replica.plan.n_stages
-        ]
-        if not targets:
-            return "noop"
-        target = int(targets[int(self.rng.integers(len(targets)))])
-        started = state.executor.refactor(replica, target)
-        return "ok" if started else "declined"
+        return action_refactor(self.system, self.rng)
 
     def _do_fail(self) -> str:
         if self.injector is None:
             return "unsupported"
         event = self.injector.inject()
         return "ok" if event is not None else "noop"
+
+
+# ----------------------------------------------------------------------
+# Lifecycle actions, usable by any harness (chaos schedule, scenario
+# engine).  All work strictly through public interfaces.
+# ----------------------------------------------------------------------
+def pick_model(system, rng) -> str:
+    names = sorted(system.specs)
+    return names[int(rng.integers(len(names)))]
+
+
+def action_scale_out(system, rng, model: str | None = None) -> str:
+    """Deploy one more replica for ``model`` (random if omitted)."""
+    model = model or pick_model(system, rng)
+    profile = system.profiles[model]
+    states = getattr(system, "_models", None)
+    deploy_decode = getattr(system, "_deploy_decode", None)
+    if states is not None:  # FlexPipe: random ladder rung
+        ladder = states[model].ladder
+        counts = ladder.stage_counts
+        plan = ladder.plan(int(counts[int(rng.integers(len(counts)))]))
+        deploy = lambda: system.factory.deploy(
+            profile, plan, batch_cap=system.batch_cap
+        )
+    elif deploy_decode is not None and rng.random() < 0.5:
+        # DistServe: also churn the decode pool, or drains could
+        # empty it permanently with the fuzzer never re-growing it.
+        deploy = lambda: deploy_decode(profile, model)
+    else:  # baselines: their fixed granularity
+        plan = system.plans[model]
+        deploy = lambda: system._deploy(profile, plan)
+    try:
+        deploy()
+    except AllocationError:
+        return "blocked"
+    return "ok"
+
+
+def action_drain(system, rng, model: str | None = None) -> str:
+    """Release one live replica (of ``model`` when given)."""
+    factory = system.factory
+    live = factory.live_replicas()
+    if model is not None:
+        live = [r for r in live if r.profile.spec.name == model]
+    if not live:
+        return "noop"
+    factory.release(live[int(rng.integers(len(live)))])
+    return "ok"
+
+
+def action_refactor(
+    system, rng, model: str | None = None, target_stages: int | None = None
+) -> str:
+    """Force an inflight refactor of one active replica (FlexPipe only)."""
+    states = getattr(system, "_models", None)
+    if not states:
+        return "unsupported"
+    model = model or pick_model(system, rng)
+    state = states[model]
+    active = system.routers[model].active_replicas
+    if not active:
+        return "noop"
+    replica = active[int(rng.integers(len(active)))]
+    if target_stages is not None:
+        counts = state.ladder.stage_counts
+        target = min(counts, key=lambda c: abs(c - target_stages))
+        if target == replica.plan.n_stages:
+            return "noop"
+    else:
+        targets = [
+            c for c in state.ladder.stage_counts if c != replica.plan.n_stages
+        ]
+        if not targets:
+            return "noop"
+        target = int(targets[int(rng.integers(len(targets)))])
+    started = state.executor.refactor(replica, int(target))
+    return "ok" if started else "declined"
 
 
 # ----------------------------------------------------------------------
@@ -236,30 +311,29 @@ def run_chaos_case(case: ChaosCase) -> ChaosReport:
 
 
 def _run_chaos_case(case: ChaosCase) -> ChaosReport:
-    sim = Simulator()
-    streams = RandomStreams(case.seed)
-    knobs = streams.stream("chaos-config")
+    # Scenario knobs come from their own named stream, so drawing them
+    # before the environment exists leaves every other stream untouched
+    # (streams derive from (seed, name), not draw order).
+    knobs = RandomStreams(case.seed).stream("chaos-config")
     qps = float(knobs.uniform(4.0, 12.0))
     cv = float(knobs.choice([1.0, 2.0, 4.0, 8.0]))
     cap = knobs.choice([0, 32, 128])  # 0 = no admission gate
     fragmented = bool(knobs.random() < 0.5)
 
-    cluster = make_small_cluster(sim)
-    fragmentation = None
-    if fragmented:
-        fragmentation = FragmentationModel(sim, cluster, streams)
-        fragmentation.warm_up()
-    ctx = ServingContext.create(sim, cluster, streams)
     cfg = ExperimentConfig(
         model=case.model,
         qps=qps,
         cv=cv,
         duration=case.duration,
         seed=case.seed,
-        cluster="small",
+        cluster=case.cluster,
         batch_cap=16,
         settle_time=case.settle,
+        extra_models=case.extra_models,
+        fragmentation=fragmented,
     )
+    sim, cluster, streams, fragmentation = build_environment(cfg)
+    ctx = ServingContext.create(sim, cluster, streams)
     system = CHAOS_SYSTEMS[case.system](ctx, cfg)
     try:
         system.start()
@@ -272,14 +346,41 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
 
     policy = QueueCapPolicy(_total_queue(system), int(cap)) if cap else None
     gate = AdmissionGate(system.submit, policy)
-    generator = WorkloadGenerator(
-        sim,
-        make_arrival_process(cfg, streams),
-        make_workload_sampler(cfg, streams),
-        gate.submit,
-        case.duration,
-    )
-    auditor = InvariantAuditor(system, generators=[generator], gates=[gate])
+    generators = [
+        WorkloadGenerator(
+            sim,
+            make_arrival_process(cfg, streams),
+            make_workload_sampler(cfg, streams),
+            gate.submit,
+            case.duration,
+        )
+    ]
+    # Co-resident tenants: every extra model offers its own seeded traffic
+    # through the same admission gate, so one tenant's burst can shed (or
+    # starve) another's — the paper-cluster multiplexing effect.
+    for extra in case.extra_models:
+        extra_qps = float(knobs.uniform(2.0, 8.0))
+        extra_cv = float(knobs.choice([1.0, 2.0, 4.0]))
+        extra_cfg = ExperimentConfig(
+            model=extra,
+            qps=extra_qps,
+            cv=extra_cv,
+            duration=case.duration,
+            seed=case.seed,
+            batch_cap=16,
+        )
+        generators.append(
+            WorkloadGenerator(
+                sim,
+                make_arrival_process(extra_cfg, streams, tag=f"_{extra}"),
+                make_workload_sampler(
+                    extra_cfg, streams, model=extra, tag=f"_{extra}"
+                ),
+                gate.submit,
+                case.duration,
+            )
+        )
+    auditor = InvariantAuditor(system, generators=generators, gates=[gate])
     injector = FailureInjector(
         sim,
         cluster,
@@ -312,14 +413,23 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
     sim.run_until_idle(max_events=case.max_events)
     chaos.record(auditor.audit_quiesce())
 
-    completed = len({r.rid for r in system.metrics.records})
+    unique = {r.rid: r for r in system.metrics.records}
+    completed_by_model: dict[str, int] = {}
+    for request in unique.values():
+        completed_by_model[request.model] = (
+            completed_by_model.get(request.model, 0) + 1
+        )
     return ChaosReport(
         case=case,
         violations=list(chaos.violations.values()),
         actions=dict(sorted(chaos.actions.items())),
-        offered=generator.offered,
-        completed=completed,
+        offered=sum(g.offered for g in generators),
+        completed=len(unique),
         shed=gate.stats.rejected,
+        offered_by_model={
+            g.sampler.model: g.offered for g in generators
+        },
+        completed_by_model=completed_by_model,
     )
 
 
@@ -339,8 +449,15 @@ def audit_seeds(
     runner=None,
     jobs: int | None = None,
     case_kwargs: dict | None = None,
+    paper_every: int | None = 4,
 ) -> list[ChaosReport]:
     """Run the chaos audit over ``seeds`` seeds for each system.
+
+    Every ``paper_every``-th seed runs as a *paper-cluster multi-model*
+    case (rotating through :data:`PAPER_FLEETS`) instead of the
+    single-model small-cluster shape, so the audit covers the paper's
+    fragmented multiplexing setting too.  ``paper_every=None`` disables
+    the mix (the PR-2 behaviour).
 
     Cases fan out through the parallel experiment runner's worker pool
     (``--jobs`` / ``REPRO_JOBS``); the result cache is bypassed — a chaos
@@ -355,10 +472,12 @@ def audit_seeds(
             f"unknown system(s) {unknown}; available: {sorted(CHAOS_SYSTEMS)}"
         )
     kwargs = case_kwargs or {}
-    cases = [
-        ChaosCase(system=name, seed=seed, **kwargs)
-        for name in chosen
-        for seed in range(seeds)
-    ]
+    cases = []
+    for name in chosen:
+        for seed in range(seeds):
+            if paper_every and seed % paper_every == paper_every - 1:
+                cases.append(paper_case(name, seed, **kwargs))
+            else:
+                cases.append(ChaosCase(system=name, seed=seed, **kwargs))
     exp_runner = make_runner(runner, jobs=jobs, use_cache=False)
     return exp_runner.map(run_chaos_case, cases)

@@ -1,0 +1,338 @@
+"""Direct fuzzing of the transfer/migration layer.
+
+The chaos harness exercises migration only as a side effect of refactors;
+this module fuzzes the planning and link layers *directly*, where the
+scheduling invariants can be stated exactly:
+
+:func:`check_schedule` (per :class:`~repro.transfer.migration.MigrationSchedule`)
+    * **byte conservation** — every input item is scheduled exactly once
+      and the schedule's total bytes equal the input's;
+    * **channel exclusivity** — no two transfers overlap on any NIC
+      direction or PCIe channel (channels are single-occupancy);
+    * **makespan bounds** — the makespan is at least the longest single
+      stream and the busiest channel's total occupancy (lower bounds),
+      and at most the all-serial time (upper bound);
+    * **KV-before-activate** — with ``kv_first`` (the Fig. 6 sequence),
+      on every channel all KV shards complete before any parameter load
+      starts, so the switchover pause is never gated behind bulk loads.
+
+:func:`fuzz_link_case` (for :class:`~repro.transfer.links.FairShareLink`)
+    * every transfer completes, exactly once;
+    * no transfer beats its physics: duration >= latency +
+      bytes / min(bandwidth, rate cap);
+    * the link conserves work: busy time covers the bytes moved.
+
+Cases are seeded and picklable; ``fuzz_seeds`` fans them out through the
+parallel experiment runner (``repro fuzz --seeds N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.transfer.links import FairShareLink, LinkSpec, MB
+from repro.transfer.migration import (
+    Endpoint,
+    ItemKind,
+    MigrationItem,
+    MigrationPlanner,
+    MigrationSchedule,
+    channels_of,
+)
+from repro.validation.auditor import Violation
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class MigrationFuzzCase:
+    """One seeded fuzz case: several random item sets + link workloads."""
+
+    seed: int = 0
+    rounds: int = 25  # independent item sets per case
+    max_items: int = 40
+    max_servers: int = 6
+    link_rounds: int = 8  # FairShareLink workloads per case
+
+
+@dataclass
+class MigrationFuzzReport:
+    case: MigrationFuzzCase
+    violations: list[Violation] = field(default_factory=list)
+    schedules: int = 0
+    items: int = 0
+    transfers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# Schedule invariants
+# ----------------------------------------------------------------------
+def check_schedule(
+    items: list[MigrationItem],
+    schedule: MigrationSchedule,
+    *,
+    kv_first: bool = True,
+) -> list[Violation]:
+    """All scheduling invariants for one planned transition."""
+    out: list[Violation] = []
+    transfers = schedule.transfers
+
+    # Byte conservation: the schedule carries exactly the input items
+    # (identity-matched — no item dropped, duplicated, or substituted).
+    scheduled = sorted(id(t.item) for t in transfers)
+    expected = sorted(id(i) for i in items)
+    if scheduled != expected:
+        out.append(
+            Violation(
+                "migration-conservation",
+                f"scheduled {len(transfers)} transfer(s) for "
+                f"{len(items)} item(s) (or items duplicated/replaced)",
+            )
+        )
+    total_in = sum(i.nbytes for i in items)
+    if abs(schedule.total_bytes - total_in) > max(total_in, 1.0) * 1e-9:
+        out.append(
+            Violation(
+                "migration-conservation",
+                f"total bytes {schedule.total_bytes} != input {total_in}",
+            )
+        )
+
+    # Per-transfer sanity.
+    for t in transfers:
+        if t.start < -_EPS:
+            out.append(
+                Violation(
+                    "migration-timing", f"{t.item.tag}: negative start {t.start}"
+                )
+            )
+        if abs((t.end - t.start) - t.plan.duration) > _EPS:
+            out.append(
+                Violation(
+                    "migration-timing",
+                    f"{t.item.tag}: slot {t.end - t.start} != plan "
+                    f"duration {t.plan.duration}",
+                )
+            )
+
+    # Channel exclusivity + KV-before-params per channel.
+    by_channel: dict[str, list] = {}
+    for t in transfers:
+        for channel in channels_of(t.item):
+            by_channel.setdefault(channel, []).append(t)
+    for channel, slots in by_channel.items():
+        slots.sort(key=lambda t: (t.start, t.end))
+        for a, b in zip(slots, slots[1:]):
+            if b.start < a.end - _EPS:
+                out.append(
+                    Violation(
+                        "migration-channel-overlap",
+                        f"{channel}: {a.item.tag} [{a.start:.6f},{a.end:.6f}) "
+                        f"overlaps {b.item.tag} [{b.start:.6f},{b.end:.6f})",
+                    )
+                )
+        if kv_first:
+            kv_end = max(
+                (t.end for t in slots if t.item.kind is ItemKind.KV),
+                default=None,
+            )
+            params_start = min(
+                (t.start for t in slots if t.item.kind is ItemKind.PARAMS),
+                default=None,
+            )
+            if (
+                kv_end is not None
+                and params_start is not None
+                and params_start < kv_end - _EPS
+            ):
+                out.append(
+                    Violation(
+                        "migration-kv-ordering",
+                        f"{channel}: params load starts at {params_start:.6f} "
+                        f"before KV completes at {kv_end:.6f}",
+                    )
+                )
+
+    # Makespan bounds.
+    makespan = schedule.makespan
+    longest = max((t.plan.duration for t in transfers), default=0.0)
+    if makespan < longest - _EPS:
+        out.append(
+            Violation(
+                "migration-makespan",
+                f"makespan {makespan} below longest stream {longest}",
+            )
+        )
+    busiest = schedule.busiest_channel_time()
+    if makespan < busiest - _EPS:
+        out.append(
+            Violation(
+                "migration-makespan",
+                f"makespan {makespan} below busiest channel {busiest}",
+            )
+        )
+    if makespan > schedule.serial_time + _EPS:
+        out.append(
+            Violation(
+                "migration-makespan",
+                f"makespan {makespan} exceeds serial time "
+                f"{schedule.serial_time} (worse than no parallelism)",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Random item sets
+# ----------------------------------------------------------------------
+def random_items(rng, *, max_items: int, max_servers: int) -> list[MigrationItem]:
+    """A random (possibly degenerate) migration item set."""
+    n_servers = int(rng.integers(1, max_servers + 1))
+    endpoints = [
+        Endpoint(
+            server_id=f"s{s}",
+            gpu_id=f"s{s}g{g}",
+            rdma=bool(rng.random() < 0.7),
+        )
+        for s in range(n_servers)
+        for g in range(int(rng.integers(1, 5)))
+    ]
+    items = []
+    for i in range(int(rng.integers(0, max_items + 1))):
+        src = endpoints[int(rng.integers(len(endpoints)))]
+        dst = endpoints[int(rng.integers(len(endpoints)))]
+        kind = ItemKind.KV if rng.random() < 0.5 else ItemKind.PARAMS
+        # Heavy-tailed sizes spanning the §8 method thresholds, plus the
+        # occasional zero-byte stream (metadata-only, pure latency).
+        nbytes = 0.0 if rng.random() < 0.05 else float(
+            rng.lognormal(mean=0.0, sigma=2.5) * 64 * MB
+        )
+        items.append(
+            MigrationItem(kind, nbytes, src, dst, tag=f"{kind.value}{i}")
+        )
+    return items
+
+
+def fuzz_migration_case(case: MigrationFuzzCase) -> MigrationFuzzReport:
+    """Run one seeded fuzz case over planner and link layers."""
+    report = MigrationFuzzReport(case=case)
+    try:
+        rng = RandomStreams(case.seed).stream("migration-fuzz")
+        for _ in range(case.rounds):
+            items = random_items(
+                rng, max_items=case.max_items, max_servers=case.max_servers
+            )
+            kv_first = bool(rng.random() < 0.5)
+            planner = MigrationPlanner(force_nccl=bool(rng.random() < 0.2))
+            schedule = planner.schedule(items, kv_first=kv_first)
+            report.schedules += 1
+            report.items += len(items)
+            report.violations += check_schedule(
+                items, schedule, kv_first=kv_first
+            )
+        link_rng = RandomStreams(case.seed).stream("link-fuzz")
+        for _ in range(case.link_rounds):
+            report.violations += fuzz_link_case(link_rng)
+            report.transfers += 1
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        report.violations.append(
+            Violation("harness-crash", f"{type(exc).__name__}: {exc}")
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FairShareLink fuzz
+# ----------------------------------------------------------------------
+def fuzz_link_case(rng) -> list[Violation]:
+    """One random contention workload against a FairShareLink."""
+    out: list[Violation] = []
+    sim = Simulator()
+    bandwidth = float(rng.uniform(0.5, 32.0)) * 1024 * MB
+    latency = float(rng.choice([0.0, 1e-4, 1e-3]))
+    link = FairShareLink(sim, LinkSpec("fuzz-link", bandwidth, latency))
+    n = int(rng.integers(1, 24))
+    handles = []
+    for i in range(n):
+        nbytes = 0.0 if rng.random() < 0.08 else float(
+            rng.lognormal(mean=0.0, sigma=2.0) * 16 * MB
+        )
+        cap = (
+            float(rng.uniform(0.05, 1.5)) * bandwidth
+            if rng.random() < 0.5
+            else None
+        )
+        start_at = float(rng.exponential(0.02))
+        sim.schedule(
+            start_at,
+            lambda nb=nbytes, c=cap: handles.append(
+                link.transfer(nb, max_rate=c)
+            ),
+        )
+    sim.run_until_idle()
+
+    done = [h for h in handles if h.done]
+    if len(done) != n:
+        out.append(
+            Violation(
+                "link-completion",
+                f"{n - len(done)} of {n} transfer(s) never completed",
+            )
+        )
+    if link.transfers_completed != n:
+        out.append(
+            Violation(
+                "link-completion",
+                f"link counted {link.transfers_completed} completions "
+                f"for {n} transfers",
+            )
+        )
+    for h in done:
+        floor_rate = min(h.max_rate or bandwidth, bandwidth)
+        floor = latency + h.nbytes / floor_rate
+        if h.duration is not None and h.duration < floor - 1e-6:
+            out.append(
+                Violation(
+                    "link-physics",
+                    f"transfer of {h.nbytes:.0f} B finished in "
+                    f"{h.duration:.6f}s, below its floor {floor:.6f}s",
+                )
+            )
+    # Work conservation: the busy span must cover the bytes at line rate.
+    total = sum(h.nbytes for h in done)
+    first = min((h.started_at for h in done), default=0.0)
+    last = max((h.finished_at for h in done if h.finished_at is not None), default=0.0)
+    if total > 0 and (last - first) < total / bandwidth - 1e-6:
+        out.append(
+            Violation(
+                "link-physics",
+                f"{total:.0f} B moved in {last - first:.6f}s — faster "
+                f"than line rate {bandwidth:.0f} B/s allows",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fan-out
+# ----------------------------------------------------------------------
+def fuzz_seeds(
+    *,
+    seeds: int = 10,
+    runner=None,
+    jobs: int | None = None,
+    case_kwargs: dict | None = None,
+) -> list[MigrationFuzzReport]:
+    """Run the migration fuzzer over ``seeds`` seeded cases."""
+    from repro.experiments.runner import make_runner
+
+    kwargs = case_kwargs or {}
+    cases = [MigrationFuzzCase(seed=seed, **kwargs) for seed in range(seeds)]
+    exp_runner = make_runner(runner, jobs=jobs, use_cache=False)
+    return exp_runner.map(fuzz_migration_case, cases)

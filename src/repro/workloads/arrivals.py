@@ -175,6 +175,96 @@ class MMPPArrivals(ArrivalProcess):
         return math.sqrt(1.0 + 2.0 * var_rate / (mean_rate**2))
 
 
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally rate-modulated Poisson arrivals (diurnal swing).
+
+    The instantaneous rate is ``rate * (1 + amplitude*sin(2*pi*(t+phase)/
+    period))``, sampled by Poisson thinning against the peak rate, so long
+    measurement windows see the day-scale swing of Fig. 1 while short
+    windows stay locally Poisson.  The process keeps its own clock (the
+    sum of emitted gaps), which matches simulated time as long as every
+    drawn gap is consumed — how :class:`~repro.workloads.generator.
+    WorkloadGenerator` uses it.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 0.6,
+        period: float = 86_400.0,
+        phase: float = 0.0,
+    ):
+        super().__init__(rate, rng)
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must be in [0,1), got {amplitude}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.amplitude = amplitude
+        self.period = period
+        self.phase = phase
+        self._t = 0.0
+        self._peak = rate * (1.0 + amplitude)
+
+    def rate_at(self, t: float) -> float:
+        swing = math.sin(2 * math.pi * (t + self.phase) / self.period)
+        return self.rate * max(1.0 + self.amplitude * swing, 1e-6)
+
+    def next_interarrival(self) -> float:
+        start = self._t
+        while True:
+            self._t += float(self.rng.exponential(1.0 / self._peak))
+            if self.rng.random() <= self.rate_at(self._t) / self._peak:
+                return self._t - start
+
+    @property
+    def cv(self) -> float:
+        """Inter-arrival CV of a sinusoidally modulated Poisson process
+        (slow-modulation limit: 1 + variance inflation of the rate)."""
+        mean_rate = self.rate
+        var_rate = 0.5 * (self.rate * self.amplitude) ** 2
+        return math.sqrt(1.0 + 2.0 * var_rate / (mean_rate**2))
+
+
+class ReplayArrivals(ArrivalProcess):
+    """Replays a fixed list of arrival timestamps (trace replay).
+
+    Timestamps are relative to the process start; once the trace is
+    exhausted the process returns ``inf`` gaps, which any duration-bounded
+    generator interprets as "no further arrivals".
+    """
+
+    def __init__(self, timestamps, rng: np.random.Generator | None = None):
+        times = sorted(float(t) for t in timestamps if t >= 0.0)
+        mean_gap = (times[-1] / len(times)) if times and times[-1] > 0 else 1.0
+        super().__init__(
+            1.0 / mean_gap if mean_gap > 0 else 1.0,
+            rng if rng is not None else np.random.default_rng(0),
+        )
+        self.timestamps = times
+        self._cursor = 0
+        self._last = 0.0
+
+    def next_interarrival(self) -> float:
+        if self._cursor >= len(self.timestamps):
+            return math.inf
+        t = self.timestamps[self._cursor]
+        self._cursor += 1
+        gap = t - self._last
+        self._last = t
+        return max(gap, 0.0)
+
+    @property
+    def cv(self) -> float:
+        """Empirical CV of the trace's inter-arrival gaps."""
+        if len(self.timestamps) < 3:
+            return 0.0
+        gaps = np.diff(np.asarray(self.timestamps))
+        mean = float(gaps.mean())
+        return float(gaps.std() / mean) if mean > 0 else 0.0
+
+
 def make_arrivals(
     rate: float, cv: float, rng: np.random.Generator
 ) -> ArrivalProcess:

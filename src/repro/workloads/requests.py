@@ -68,11 +68,28 @@ class LengthDistribution:
         return int(np.clip(round(value), self.lo, self.hi))
 
 
+def rid_namespace(name: str) -> int:
+    """Deterministic rid base for a named request stream.
+
+    Several samplers feed one run in multi-tenant scenarios; each must
+    mint globally unique request ids or conservation audits (and any
+    rid-keyed dedup) would conflate requests of different tenants.  The
+    empty name maps to 0, keeping single-sampler runs byte-identical to
+    the historical numbering.
+    """
+    from repro.simulation.randomness import stable_hash
+
+    if not name:
+        return 0
+    return ((stable_hash(name) & 0x7FFFFFFF) | 0x1) << 32
+
+
 class RequestSampler:
     """Draws request shapes (prompt/output lengths) for a model.
 
     Defaults follow the Splitwise corpus shape: prompts in the hundreds of
-    tokens with a heavy tail, short-to-moderate outputs.
+    tokens with a heavy tail, short-to-moderate outputs.  ``rid_base``
+    offsets this sampler's request ids (see :func:`rid_namespace`).
     """
 
     def __init__(
@@ -83,17 +100,19 @@ class RequestSampler:
         prompt: LengthDistribution | None = None,
         output: LengthDistribution | None = None,
         slo_latency: float = 5.0,
+        rid_base: int = 0,
     ):
         self.model = model
         self.rng = rng
         self.prompt = prompt or LengthDistribution(median=512, sigma=0.6, lo=16, hi=4096)
         self.output = output or LengthDistribution(median=16, sigma=0.7, lo=1, hi=256)
         self.slo_latency = slo_latency
+        self.rid_base = rid_base
         self._ids = itertools.count()
 
     def sample(self, arrival_time: float) -> Request:
         return Request(
-            rid=next(self._ids),
+            rid=self.rid_base + next(self._ids),
             model=self.model,
             arrival_time=arrival_time,
             prompt_tokens=self.prompt.sample(self.rng),

@@ -129,6 +129,57 @@ class TestInjection:
         assert victim.gid not in injector._blocked
         assert victim.free_memory > 0
 
+    def test_reclamation_aborts_inflight_refactor_inside_downtime_window(
+        self, live_system
+    ):
+        """An in-flight refactor's *prepared* reservations are stages of
+        no replica, so the reclamation drain cannot reach them.  The
+        executor-level hook must abort the transition and release the
+        prepared memory the moment the victim GPU is cordoned — inside
+        the downtime window, not at the (cancelled) switch."""
+        sim, cluster, streams, system = live_system
+        injector = FailureInjector(
+            sim, cluster, streams.stream("failures"), system,
+            ReclamationPolicy(mtbf=1e9, downtime_mean=2000.0),
+        )
+        state = system._models[LLAMA2_7B.name]
+        replica = system.routers[LLAMA2_7B.name].active_replicas[0]
+        target = next(
+            c for c in state.ladder.stage_counts if c != replica.plan.n_stages
+        )
+        assert state.executor.refactor(replica, target)
+        stage_gpus = {
+            s.gpu
+            for r in system.all_replicas()
+            for s in (*r.stages, *r._retired_stages)
+        }
+        prepared = [
+            res
+            for res in system.ctx.allocator.live.values()
+            if res.gpu not in stage_gpus
+        ]
+        assert prepared, "the transition must have prepared fresh GPUs"
+        victim = prepared[0].gpu
+        t_reclaim = sim.now
+        event = injector.inject(victim)
+        assert event is not None
+        # Released at the reclamation instant — the very start of the
+        # downtime window — not after the preparation window elapses.
+        assert sim.now == t_reclaim
+        assert all(res.released for res in prepared)
+        assert state.executor.transitions_aborted == 1
+        assert not state.executor.refactoring(replica)
+        # No serving allocation remains on the victim; only the injector's
+        # own blocker occupies it for the downtime.
+        assert all(
+            res.gpu is not victim
+            for res in system.ctx.allocator.live.values()
+        )
+        sim.run(until=t_reclaim + 30.0)
+        assert state.executor.transitions_completed == 0
+        assert replica.plan.n_stages != target  # still on the old chain
+        assert replica.anomalies == []
+
     def test_reclaimed_gpu_is_cordoned_against_placement(self, live_system):
         """Even in the instant between a victim freeing memory and the
         blocker absorbing it, the allocator must refuse to place serving

@@ -18,10 +18,12 @@ from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomStreams
 from repro.validation import (
     CHAOS_SYSTEMS,
+    PAPER_FLEETS,
     ChaosCase,
     InvariantAuditor,
     InvariantViolationError,
     audit_seeds,
+    paper_case,
     run_chaos_case,
 )
 from repro.workloads.arrivals import make_arrivals
@@ -70,6 +72,78 @@ class TestChaosHarness:
         assert len(reports) == 2
         assert [r.case.seed for r in reports] == [0, 1]
         assert all(r.ok for r in reports)
+
+    def test_audit_seeds_mixes_in_paper_cluster_cases(self):
+        """Every 4th seed runs the multi-model paper-cluster shape, so
+        ``repro audit`` covers the paper's fragmented multiplexing
+        setting, not just one model on the small cluster."""
+        reports = audit_seeds(seeds=4, systems=["FlexPipe"], jobs=1)
+        kinds = [(r.case.cluster, r.case.models) for r in reports]
+        assert kinds[:3] == [("small", ("LLAMA2-7B",))] * 3
+        assert kinds[3][0] == "paper" and len(kinds[3][1]) >= 2
+        assert all(r.ok for r in reports), [
+            str(v) for r in reports for v in r.violations
+        ]
+
+    def test_audit_seeds_paper_mix_can_be_disabled(self):
+        reports = audit_seeds(
+            seeds=4, systems=["FlexPipe"], jobs=1, paper_every=None
+        )
+        assert all(r.case.cluster == "small" for r in reports)
+
+    def test_case_kwargs_pass_through_survives_the_paper_mix(self):
+        """``case_kwargs`` may pin any ChaosCase field — including ones
+        the paper shape also sets — without crashing on paper seeds;
+        explicit kwargs win over the fleet defaults."""
+        reports = audit_seeds(
+            seeds=4,
+            systems=["FlexPipe"],
+            jobs=1,
+            case_kwargs={"model": "LLAMA2-7B", "duration": 10.0},
+        )
+        assert [r.case.model for r in reports] == ["LLAMA2-7B"] * 4
+        assert all(r.case.duration == 10.0 for r in reports)
+        assert reports[3].case.cluster == "paper"  # mix still applies
+        # A pinned primary coinciding with a fleet member is deduped, not
+        # doubled (ChaosCase rejects duplicate tenants outright).
+        case = paper_case("FlexPipe", 11, model="LLAMA2-7B")
+        assert case.models.count("LLAMA2-7B") == 1
+        with pytest.raises(ValueError, match="repeats a tenant"):
+            ChaosCase(model="LLAMA2-7B", extra_models=("LLAMA2-7B",))
+
+
+class TestPaperClusterChaos:
+    """Multi-model paper-cluster chaos: fixed seeds, tier-1 subset.
+
+    Seeds 3 and 7 rotate through different :data:`PAPER_FLEETS`; the full
+    grid runs in CI via ``repro audit``.
+    """
+
+    @pytest.mark.parametrize("system", ("FlexPipe", "DistServe"))
+    @pytest.mark.parametrize("seed", (3, 7))
+    def test_paper_multimodel_interleavings_hold_invariants(self, system, seed):
+        case = paper_case(system, seed)
+        assert case.cluster == "paper" and len(case.models) >= 2
+        report = run_chaos_case(case)
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        assert report.offered > 0
+
+    def test_fleets_rotate_and_cover_the_zoo_breadth(self):
+        fleets = {paper_case("FlexPipe", s).models for s in range(6)}
+        assert len(fleets) == len(PAPER_FLEETS)
+        assert any("OPT-66B" in fleet for fleet in fleets)
+
+    def test_multi_model_traffic_reaches_every_tenant(self):
+        """Each co-resident tenant must actually offer and complete
+        requests — a fleet where only the primary sees traffic would
+        vacuously pass the invariants."""
+        case = paper_case("FlexPipe", 3)
+        report = run_chaos_case(case)
+        assert report.ok
+        assert set(report.offered_by_model) == set(case.models)
+        for model in case.models:
+            assert report.offered_by_model[model] > 0, model
+            assert report.completed_by_model.get(model, 0) > 0, model
 
     def test_audit_seeds_rejects_unknown_system(self):
         with pytest.raises(KeyError):

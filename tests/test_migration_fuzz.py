@@ -1,0 +1,196 @@
+"""Property-based fuzzing of the transfer/migration layer (tier-1).
+
+Fixed seeds keep the suite deterministic; the detection-power tests
+poison known-good schedules so each invariant demonstrably fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.randomness import RandomStreams
+from repro.transfer.links import FairShareLink, LinkSpec, MB
+from repro.transfer.migration import (
+    Endpoint,
+    ItemKind,
+    MigrationItem,
+    MigrationPlanner,
+    ScheduledTransfer,
+)
+from repro.validation.migration_fuzz import (
+    MigrationFuzzCase,
+    check_schedule,
+    fuzz_link_case,
+    fuzz_migration_case,
+    fuzz_seeds,
+    random_items,
+)
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzz cases hold every invariant
+# ----------------------------------------------------------------------
+class TestSeededFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_case_is_clean(self, seed):
+        report = fuzz_migration_case(MigrationFuzzCase(seed=seed))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        assert report.schedules == 25
+        assert report.items > 0
+
+    def test_case_is_deterministic(self):
+        a = fuzz_migration_case(MigrationFuzzCase(seed=1))
+        b = fuzz_migration_case(MigrationFuzzCase(seed=1))
+        assert (a.items, a.schedules, a.transfers) == (
+            b.items,
+            b.schedules,
+            b.transfers,
+        )
+
+    def test_fan_out_reports_per_seed(self):
+        reports = fuzz_seeds(seeds=3, jobs=1, case_kwargs={"rounds": 5})
+        assert [r.case.seed for r in reports] == [0, 1, 2]
+        assert all(r.ok for r in reports)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lpt_schedule_invariants_directly(self, seed):
+        """The planner's output satisfies the stated bounds for arbitrary
+        seeded item sets, both KV-first and unordered."""
+        rng = RandomStreams(seed).stream("direct")
+        planner = MigrationPlanner()
+        for _ in range(10):
+            items = random_items(rng, max_items=30, max_servers=5)
+            for kv_first in (True, False):
+                schedule = planner.schedule(items, kv_first=kv_first)
+                violations = check_schedule(
+                    items, schedule, kv_first=kv_first
+                )
+                assert violations == [], "\n".join(map(str, violations))
+
+
+# ----------------------------------------------------------------------
+# Detection power: poisoned schedules must be flagged
+# ----------------------------------------------------------------------
+@pytest.fixture
+def good_schedule():
+    a = Endpoint("s0", "s0g0")
+    b = Endpoint("s1", "s1g0")
+    c = Endpoint("s2", "s2g0")
+    items = [
+        MigrationItem(ItemKind.KV, 256 * MB, a, b, tag="kv0"),
+        MigrationItem(ItemKind.PARAMS, 512 * MB, a, b, tag="p0"),
+        MigrationItem(ItemKind.PARAMS, 128 * MB, c, b, tag="p1"),
+        MigrationItem(ItemKind.KV, 64 * MB, b, c, tag="kv1"),
+    ]
+    return items, MigrationPlanner().schedule(items)
+
+
+def invariants_of(violations):
+    return {v.invariant for v in violations}
+
+
+class TestDetectionPower:
+    def test_good_schedule_is_clean(self, good_schedule):
+        items, schedule = good_schedule
+        assert check_schedule(items, schedule) == []
+
+    def test_dropped_item_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        schedule.transfers.pop()
+        assert "migration-conservation" in invariants_of(
+            check_schedule(items, schedule)
+        )
+
+    def test_duplicated_transfer_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        schedule.transfers.append(schedule.transfers[0])
+        assert "migration-conservation" in invariants_of(
+            check_schedule(items, schedule)
+        )
+
+    def test_channel_overlap_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        # Move every transfer to start at 0: streams sharing a NIC overlap.
+        schedule.transfers = [
+            ScheduledTransfer(t.item, t.plan, 0.0, t.plan.duration)
+            for t in schedule.transfers
+        ]
+        assert "migration-channel-overlap" in invariants_of(
+            check_schedule(items, schedule)
+        )
+
+    def test_kv_ordering_violation_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        # Shift all KV transfers after the params on their channels.
+        last = schedule.makespan
+        schedule.transfers = [
+            ScheduledTransfer(t.item, t.plan, t.start + last, t.end + last)
+            if t.item.kind is ItemKind.KV
+            else t
+            for t in schedule.transfers
+        ]
+        assert "migration-kv-ordering" in invariants_of(
+            check_schedule(items, schedule)
+        )
+
+    def test_stretched_slot_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        t = schedule.transfers[0]
+        schedule.transfers[0] = ScheduledTransfer(
+            t.item, t.plan, t.start, t.end + 1.0
+        )
+        assert "migration-timing" in invariants_of(
+            check_schedule(items, schedule)
+        )
+
+    def test_makespan_below_longest_stream_flagged(self, good_schedule):
+        items, schedule = good_schedule
+        # Compress every slot to zero length: the makespan lower bounds
+        # (longest stream, busiest channel) both break.
+        schedule.transfers = [
+            ScheduledTransfer(t.item, t.plan, 0.0, 0.0)
+            for t in schedule.transfers
+        ]
+        found = invariants_of(check_schedule(items, schedule))
+        assert "migration-makespan" in found
+
+
+# ----------------------------------------------------------------------
+# Link-layer properties
+# ----------------------------------------------------------------------
+class TestLinkProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_contention_holds_physics(self, seed):
+        rng = RandomStreams(seed).stream("links")
+        for _ in range(5):
+            violations = fuzz_link_case(rng)
+            assert violations == [], "\n".join(map(str, violations))
+
+    def test_contention_never_speeds_a_stream_up(self):
+        """Fair sharing: adding background streams cannot make a transfer
+        finish earlier than it does alone."""
+        spec = LinkSpec("solo", 10.0 * 1024 * MB, 1e-4)
+
+        def run(background: int) -> float:
+            sim = Simulator()
+            link = FairShareLink(sim, spec)
+            probe = link.transfer(512 * MB)
+            for _ in range(background):
+                link.transfer(256 * MB)
+            sim.run_until_idle()
+            assert probe.duration is not None
+            return probe.duration
+
+        alone = run(0)
+        for n in (1, 2, 5):
+            assert run(n) >= alone - 1e-9
+
+    def test_rate_cap_lower_bounds_duration(self):
+        sim = Simulator()
+        link = FairShareLink(sim, LinkSpec("capped", 1024 * MB, 0.0))
+        handle = link.transfer(100 * MB, max_rate=10 * MB)
+        sim.run_until_idle()
+        assert handle.duration == pytest.approx(10.0, rel=1e-6)

@@ -305,6 +305,52 @@ class TestExecutor:
             s.reservation.gpu.cordoned for s in replica.stages
         )  # serving never moved onto a reclaimed device
 
+    def test_abort_on_cordon_releases_prepared_memory_immediately(
+        self, setup, llama_profile
+    ):
+        """The executor-level reclamation hook: when a victim GPU holding
+        a *prepared* stage is cordoned, the transition aborts right then —
+        the memory does not sit on the reclaimed GPU until ``_switch``."""
+        ctx, ladder, metrics, executor = setup
+        replica = self._deploy(ctx, llama_profile, ladder, 2, [])
+        assert executor.refactor(replica, 4)
+        prepared = [
+            res
+            for res in ctx.allocator.live.values()
+            if res.gpu not in {s.gpu for s in replica.stages}
+        ]
+        assert prepared
+        victim = prepared[0].gpu
+        victim.cordoned = True
+        t_cordon = ctx.sim.now
+        assert executor.abort_on_cordon(victim) == 1
+        # Released at the cordon instant — zero simulated time elapsed.
+        assert ctx.sim.now == t_cordon
+        assert all(res.released for res in prepared)
+        assert executor.transitions_aborted == 1
+        assert not executor.refactoring(replica)
+        assert metrics.events[-1].kind == "refactor_aborted"
+        # The cancelled switch never fires; the replica keeps serving its
+        # old chain, and a later refactor is allowed again.
+        ctx.sim.run_until_idle()
+        assert executor.transitions_completed == 0
+        assert replica.plan.n_stages == 2
+        assert replica.anomalies == []
+        victim.cordoned = False
+        assert executor.refactor(replica, 4)
+
+    def test_abort_on_cordon_ignores_unrelated_gpus(self, setup, llama_profile):
+        ctx, ladder, metrics, executor = setup
+        replica = self._deploy(ctx, llama_profile, ladder, 2, [])
+        assert executor.refactor(replica, 4)
+        used = {res.gpu for res in ctx.allocator.live.values()}
+        bystander = next(g for g in ctx.cluster.gpus if g not in used)
+        assert executor.abort_on_cordon(bystander) == 0
+        assert executor.refactoring(replica)
+        ctx.sim.run_until_idle()
+        assert executor.transitions_completed == 1
+        assert replica.plan.n_stages == 4
+
     def test_memory_degradation_halves_batch_instead_of_aborting(
         self, setup, llama_profile
     ):

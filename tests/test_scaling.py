@@ -5,6 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.hrg import HierarchicalResourceGraph
+from repro.partitioning.ladder import GranularityLadder
+from repro.pipeline.batching import BatcherConfig
+from repro.pipeline.replica import PipelineReplica
 from repro.scaling.affinity import AffinityScheduler, AffinityWeights
 from repro.scaling.coordinator import ScalingCoordinator
 from repro.scaling.decision import scaling_granularity, slo_feasible_stages
@@ -188,3 +191,103 @@ class TestCoordinator:
         server = small_cluster.servers[0]
         coordinator.record_scaling("m", list(server.gpus), now=0.0)
         assert hrg.events_registered == 1
+
+
+class TestAutoscalerEffectiveCapacity:
+    """The capacity estimate must price in per-replica *effective* batch:
+    a degraded fleet (halved batches under fragmentation) used to be
+    valued at ``plan.max_batch``, suppressing burst scale-outs exactly
+    when capacity was most impaired (ROADMAP open item)."""
+
+    def _make_scaler(self, ctx, llama_profile, router):
+        from types import SimpleNamespace
+
+        from repro.metrics.collector import MetricsCollector
+        from repro.pipeline.replica import ReplicaState
+        from repro.refactoring.monitor import WorkloadMonitor
+        from repro.scaling.autoscaler import Autoscaler, AutoscalerConfig
+
+        # 2-stage rung: a GPU hosts at most one stage of a given model, so
+        # the small cluster fits several replicas with room to spare.
+        ladder = GranularityLadder(llama_profile, stage_counts=(2, 4))
+        plan = ladder.plan(2)
+        deployed = []
+
+        def deploy(profile, p, *, wait_time=0.0):
+            # Record the scale-out; no real allocation (the test's fleet
+            # should be the only occupant of the small cluster).
+            deployed.append(p)
+            return SimpleNamespace(state=ReplicaState.LOADING)
+
+        scaler = Autoscaler(
+            ctx.sim,
+            router,
+            WorkloadMonitor(),
+            llama_profile,
+            MetricsCollector("test"),
+            deploy,
+            lambda r: None,
+            lambda cv, queue: plan,
+            AutoscalerConfig(max_replicas=16),
+        )
+        return scaler, plan, deployed
+
+    def _replica(self, ctx, profile, plan, batch):
+        mems = plan.memory_per_stage(1, profile.spec.kv_bytes_per_request)
+        reservations = ctx.allocator.allocate_stages(profile.spec.name, mems)
+        return PipelineReplica(
+            ctx.sim,
+            profile,
+            plan,
+            reservations,
+            batcher_config=BatcherConfig(max_batch=batch, max_wait=0.01),
+            on_request_complete=lambda r: None,
+        )
+
+    def test_degraded_replica_valued_below_plan_estimate(self, ctx, llama_profile):
+        from repro.pipeline.router import ModelRouter
+
+        router = ModelRouter(ctx.sim, "LLAMA2-7B")
+        scaler, plan, _ = self._make_scaler(ctx, llama_profile, router)
+        healthy = self._replica(ctx, llama_profile, plan, plan.max_batch)
+        degraded = self._replica(
+            ctx, llama_profile, plan, max(plan.max_batch // 4, 1)
+        )
+        assert scaler.replica_capacity(healthy) == scaler.replica_throughput(plan)
+        assert scaler.replica_capacity(degraded) < scaler.replica_capacity(healthy)
+
+    def test_degraded_fleet_triggers_burst_scale_out(self, ctx, llama_profile):
+        """The same backlog that a healthy fleet absorbs must trigger a
+        scale-out once the fleet is degraded — with the old plan-based
+        estimate both cases looked identical and neither scaled."""
+        from repro.pipeline.router import ModelRouter
+
+        outcomes = {}
+        for label, batch_of in (
+            ("healthy", lambda plan: plan.max_batch),
+            ("degraded", lambda plan: max(plan.max_batch // 8, 1)),
+        ):
+            router = ModelRouter(ctx.sim, "LLAMA2-7B")
+            scaler, plan, deployed = self._make_scaler(ctx, llama_profile, router)
+            for _ in range(2):
+                replica = self._replica(ctx, llama_profile, plan, batch_of(plan))
+                replica.activate()
+                router.add(replica)
+            cfg = scaler.config
+            capacity = {
+                "healthy": 2 * scaler.replica_throughput(plan),
+                "degraded": 2
+                * scaler.replica_throughput(plan, batch=max(plan.max_batch // 8, 1)),
+            }
+            # A backlog between the two burst thresholds: above the
+            # degraded fleet's clearing capacity, below the healthy one's.
+            lo = cfg.queue_factor * max(capacity["degraded"] * cfg.interval, 1.0)
+            hi = cfg.queue_factor * max(capacity["healthy"] * cfg.interval, 1.0)
+            assert lo < hi, "degraded fleet must have lower capacity"
+            queue = int(lo) + 1
+            assert queue <= hi
+            router.pending.extend(object() for _ in range(queue))
+            scaler.tick()
+            outcomes[label] = len(deployed)
+        assert outcomes["healthy"] == 0
+        assert outcomes["degraded"] >= 1
