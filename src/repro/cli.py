@@ -19,6 +19,10 @@ Commands
 ``scenario list`` / ``scenario run``
     The declarative scenario engine: scripted multi-model runs (phased
     arrivals + timed disturbances) against any system, audited.
+``qos``
+    The QoS control-plane report: one scenario run twice (control plane
+    on vs the null policy) over identical traffic, per-tenant attainment
+    and shed tables, gated on the interactive tenants actually winning.
 ``fuzz``
     Direct migration/link-layer fuzzing (scheduling invariants, link
     physics).
@@ -395,17 +399,24 @@ def _run_scenario(args) -> int:
         model_rows = []
         for report in reports:
             for model, summary in report.per_model.items():
+                tenant = report.tenants.get(model)
                 model_rows.append(
                     {
                         "scenario": report.scenario,
                         "system": report.system,
                         "model": model,
+                        "class": summary.slo_class or "-",
                         # Per-model rows count *admitted* work (gate-shed
                         # requests never reach a tenant); the sweep table's
                         # "offered" is everything generated, shed included.
                         "admitted": summary.offered,
+                        "shed": summary.shed,
                         "completed": summary.completed,
                         "goodput": f"{summary.goodput_rate:.1%}",
+                        # Attainment charges sheds as misses (goodput over
+                        # everything the tenant offered).
+                        "attainment": f"{summary.slo_attainment:.1%}",
+                        "shed rate": f"{tenant.shed_rate:.1%}" if tenant else "-",
                         "mean lat (s)": f"{summary.mean_latency:.2f}",
                         "p99 (s)": f"{summary.latency_percentiles[99]:.2f}",
                     }
@@ -418,6 +429,98 @@ def _run_scenario(args) -> int:
     ):
         return 1
     print("\nall scenario runs held every lifecycle invariant.")
+    return 0
+
+
+def _run_qos(args) -> int:
+    """``repro qos``: the control-plane on/off comparison report.
+
+    Runs one scenario twice against the same system and seed — QoS
+    control plane enabled vs the null policy (one shared queue-cap gate,
+    FIFO routing) — over byte-identical traffic, prints the per-tenant
+    QoS tables, and gates: both runs must hold every lifecycle invariant,
+    and every interactive-class tenant must attain strictly more of its
+    SLO with the control plane than without (the point of having one).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.scenarios import SCENARIOS, run_scenarios
+    from repro.validation.chaos import CHAOS_SYSTEMS
+
+    if _choose([args.scenario], SCENARIOS, what="scenario") is None:
+        return 2
+    if _choose([args.system], CHAOS_SYSTEMS) is None:
+        return 2
+    base = SCENARIOS[args.scenario]
+    specs = [dc_replace(base, qos="on"), dc_replace(base, qos="off")]
+    enabled, null = run_scenarios(
+        specs,
+        [args.system],
+        seed=args.seed,
+        quick=args.quick,
+        runner=_runner_from(args),
+    )
+
+    rows = []
+    for label, report in (("qos", enabled), ("null", null)):
+        for model, tenant in report.tenants.items():
+            rows.append(
+                {
+                    "policy": label,
+                    "model": model,
+                    "class": tenant.slo_class or "-",
+                    "offered": tenant.offered,
+                    "admitted": tenant.admitted,
+                    "shed": tenant.shed,
+                    "shed rate": f"{tenant.shed_rate:.1%}",
+                    "goodput": tenant.goodput,
+                    "attainment": f"{tenant.attainment:.1%}",
+                }
+            )
+    print(
+        _rows_table(
+            rows,
+            f"QoS control plane vs null policy - {base.name} x "
+            f"{args.system}, seed {args.seed}, identical traffic",
+        )
+    )
+    failures = [r for r in (enabled, null) if not r.ok]
+    if _report_violations(
+        failures, lambda r: f"{r.scenario} x {r.system} seed={r.seed}"
+    ):
+        return 1
+    interactive = [
+        m
+        for m, t in enabled.tenants.items()
+        if t.slo_class == "interactive"
+    ]
+    # Strict improvement required — except when both policies already
+    # saturate at full attainment, where there is no headroom to win.
+    losers = [
+        m
+        for m in interactive
+        if enabled.tenants[m].attainment <= null.tenants[m].attainment
+        and not (
+            enabled.tenants[m].attainment >= 1.0
+            and null.tenants[m].attainment >= 1.0
+        )
+    ]
+    if losers:
+        print(
+            f"\nQoS control plane did NOT improve interactive attainment "
+            f"for: {', '.join(losers)}",
+            file=sys.stderr,
+        )
+        return 1
+    if interactive:
+        gains = ", ".join(
+            f"{m} {null.tenants[m].attainment:.1%} -> "
+            f"{enabled.tenants[m].attainment:.1%}"
+            for m in interactive
+        )
+        print(f"\ninteractive SLO attainment improved: {gains}")
+    else:
+        print("\n(no interactive-class tenant in this scenario; no gate)")
     return 0
 
 
@@ -625,6 +728,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-model breakdown table",
     )
+    qos = sub.add_parser(
+        "qos",
+        help="per-tenant QoS report: run one scenario with the control "
+        "plane on vs the null policy over identical traffic and compare "
+        "per-class SLO attainment (fails unless interactive tenants "
+        "strictly improve and all invariants hold)",
+    )
+    qos.add_argument(
+        "--scenario",
+        default="priority-inversion",
+        help="catalog scenario to compare on (default: priority-inversion)",
+    )
+    qos.add_argument(
+        "--system", default="FlexPipe", help="serving system (default: FlexPipe)"
+    )
+    qos.add_argument(
+        "--quick",
+        action="store_true",
+        help="time-compressed variant (for smoke runs; the full scenario "
+        "is the meaningful comparison window)",
+    )
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz the transfer/migration layer directly: random "
@@ -662,6 +786,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_audit(args)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "qos":
+        return _run_qos(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "trace":

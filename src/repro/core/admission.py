@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.qos.classes import effective_deadline
 from repro.workloads.requests import Request
 
 
@@ -63,6 +64,12 @@ class SLOFeasiblePolicy(AdmissionPolicy):
     Estimated completion = queue drain time (backlog / current capacity)
     plus the request's own service estimate.  ``headroom`` < 1 rejects
     earlier (hedging against estimate error); > 1 admits optimistically.
+
+    The deadline is the *request's own*: a classed request is judged
+    against its QoS class target (:func:`repro.qos.classes.
+    effective_deadline`), never against a deadline frozen elsewhere — a
+    batch-class request must not be shed for missing an interactive
+    target it was never promised.
     """
 
     def __init__(
@@ -84,7 +91,7 @@ class SLOFeasiblePolicy(AdmissionPolicy):
         capacity = max(self.capacity(), 1e-9)
         wait = self.queue_length() / capacity
         estimate = wait + self.service_estimate(request)
-        return estimate <= request.slo_latency * self.headroom
+        return estimate <= effective_deadline(request) * self.headroom
 
 
 class TokenBucketPolicy(AdmissionPolicy):

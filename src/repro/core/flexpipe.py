@@ -222,18 +222,60 @@ class FlexPipeSystem(ServingSystem):
                 state.autoscaler.loading.append(replica)
 
     # ------------------------------------------------------------------
+    def enable_qos(self, classes, **kwargs) -> None:
+        """QoS on FlexPipe also drives the *adaptive* layers.
+
+        Beyond the base mechanisms (priority routing + attainment
+        tracking), each tenant's autoscaler consumes its class-weighted
+        attainment pressure, and the control loop visits tenants most
+        urgent first (class priority, then worst attainment) — a violated
+        interactive tenant scales out and refactors before a happy batch
+        tenant gets a turn at scarce GPUs.
+        """
+        super().enable_qos(classes, **kwargs)
+        for name, state in self._models.items():
+            slo_class = self.qos_class_of(name)
+            state.autoscaler.slo_pressure = (
+                lambda n=name, c=slo_class: self.qos_tracker.pressure(n, c)
+            )
+
+    def _qos_ordered_states(self) -> list[_ModelState]:
+        """Control-loop visit order: most urgent tenant first under QoS."""
+        if self.qos_tracker is None:
+            return list(self._models.values())
+        tracker = self.qos_tracker
+
+        def urgency(item):
+            name, _ = item
+            attainment = tracker.attainment(name)
+            return (
+                self.qos_class_of(name).priority,
+                1.0 if attainment is None else attainment,
+            )
+
+        return [state for _, state in sorted(self._models.items(), key=urgency)]
+
+    # ------------------------------------------------------------------
     def _control_tick(self) -> None:
         """Algorithm 1's main loop body."""
         now = self.sim.now
         cfg = self.config
-        for state in self._models.values():
+        for state in self._qos_ordered_states():
             if not self.enable_refactoring:
                 continue
             monitor = self.monitors[state.spec.name]
             cv = monitor.cv(now)
+            # A tenant actively missing its class SLO halves its dwell:
+            # the refactoring monitor reacts on the violation timescale,
+            # not the calm-weather hysteresis timescale.
+            dwell = cfg.refactor_dwell
+            if state.autoscaler.slo_pressure is not None and (
+                state.autoscaler.slo_pressure() > 0
+            ):
+                dwell *= 0.5
             if (
                 monitor.window_count(now) >= 4
-                and now - state.last_target_change >= cfg.refactor_dwell
+                and now - state.last_target_change >= dwell
             ):
                 target = state.policy.select(cv)
                 if target != state.current_stages:

@@ -14,6 +14,9 @@ from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector, RunSummary
 from repro.models.zoo import ModelSpec
 from repro.pipeline.router import ModelRouter
+from repro.qos.classes import DEFAULT_CLASS, SLO_CLASSES, SLOClass, request_priority
+from repro.qos.queueing import PriorityPendingQueue
+from repro.qos.signals import AttainmentTracker
 from repro.refactoring.monitor import WorkloadMonitor
 from repro.simulation.processes import PeriodicProcess
 from repro.workloads.requests import Request
@@ -46,6 +49,10 @@ class ServingSystem(abc.ABC):
             spec.name: WorkloadMonitor(window=cv_window) for spec in model_specs
         }
         self.metrics = MetricsCollector(self.name)
+        # QoS control plane: disabled until enable_qos() installs the
+        # class map and attainment tracker (all hooks no-op while None).
+        self.qos_classes: dict[str, SLOClass] = {}
+        self.qos_tracker: AttainmentTracker | None = None
         self._gpu_holding_integral = 0.0
         self._last_sample = ctx.sim.now
         self._epoch_start = ctx.sim.now
@@ -71,6 +78,52 @@ class ServingSystem(abc.ABC):
 
     def _on_request_complete(self, request: Request) -> None:
         self.metrics.on_complete(request)
+        if self.qos_tracker is not None:
+            self.qos_tracker.observe_completion(request)
+
+    # ------------------------------------------------------------------
+    def enable_qos(
+        self,
+        classes: dict[str, SLOClass],
+        *,
+        aging: float | None = 10.0,
+        attainment_window: float = 30.0,
+    ) -> None:
+        """Turn on the per-tenant QoS control plane.
+
+        ``classes`` maps model names to their SLO class (absent tenants
+        default to ``standard``).  The base layer installs the two
+        mechanism every system shares — priority-aware pending queues on
+        the routers (strict priority across classes, FIFO within, aging
+        for anti-starvation) and the per-tenant attainment tracker fed by
+        completions — and records the class map for admission and
+        observability.  Adaptive systems (FlexPipe) extend this to wire
+        the attainment signal into their scaling loops.
+        """
+        unknown = [m for m in classes if m not in self.routers]
+        if unknown:
+            raise KeyError(f"{self.name} does not serve model(s) {unknown}")
+        self.qos_classes = dict(classes)
+        self.qos_tracker = AttainmentTracker(
+            lambda: self.sim.now, window=attainment_window
+        )
+        # Every router, including out-of-band pools (DistServe keys its
+        # decode routers "<model>/decode"): a batch backlog in a decode
+        # pool starves interactive work exactly like one in the primary
+        # queue would.
+        for name, router in self.all_routers().items():
+            default = self.qos_class_of(name.split("/", 1)[0])
+            router.use_priority_queue(
+                PriorityPendingQueue(
+                    lambda: self.sim.now,
+                    lambda request, d=default: request_priority(request, d),
+                    aging=aging,
+                )
+            )
+
+    def qos_class_of(self, model: str) -> SLOClass:
+        """The tenant's SLO class (``standard`` when unannotated)."""
+        return self.qos_classes.get(model, SLO_CLASSES[DEFAULT_CLASS])
 
     # ------------------------------------------------------------------
     def all_routers(self) -> dict[str, ModelRouter]:

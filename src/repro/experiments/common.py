@@ -95,17 +95,33 @@ def build_environment(
 
 
 def make_workload_sampler(
-    cfg: ExperimentConfig, streams: RandomStreams, model: str | None = None, tag: str = ""
+    cfg: ExperimentConfig,
+    streams: RandomStreams,
+    model: str | None = None,
+    tag: str = "",
+    slo_class: str | None = None,
 ) -> RequestSampler:
+    """Build one tenant's request sampler.
+
+    ``slo_class`` stamps requests with a QoS class and replaces the
+    config's SLO latency with the class's own target, so a classed
+    tenant's goodput is judged against the deadline its class promises.
+    """
+    slo_latency = cfg.slo_latency
+    if slo_class is not None:
+        from repro.qos.classes import get_slo_class
+
+        slo_latency = get_slo_class(slo_class).latency_target
     return RequestSampler(
         model or cfg.model,
         streams.stream(f"requests{tag}"),
         prompt=LengthDistribution(median=cfg.prompt_median, sigma=0.6, lo=16, hi=4096),
         output=LengthDistribution(median=cfg.output_median, sigma=0.7, lo=1, hi=256),
-        slo_latency=cfg.slo_latency,
+        slo_latency=slo_latency,
         # Tagged samplers (background/extra tenants) mint rids in their own
         # namespace so multi-tenant runs keep ids globally unique.
         rid_base=rid_namespace(tag),
+        slo_class=slo_class,
     )
 
 

@@ -46,6 +46,12 @@ class RunSummary:
     warm_start_rate: float
     mean_init_time: float
     mean_alloc_wait: float
+    # --- QoS (filled by multi-tenant drivers; defaults = unclassed) ---
+    slo_class: str = ""  # the tenant's SLO class name, "" when unclassed
+    shed: int = 0  # admission sheds charged to this tenant
+    # Goodput over *everything offered* (sheds count as misses); the
+    # plain goodput_rate above is goodput over admitted work only.
+    slo_attainment: float = 0.0
 
 
 class MetricsCollector:

@@ -43,6 +43,20 @@ class ModelRouter:
             self.gateway_updates += 1
 
     # ------------------------------------------------------------------
+    def use_priority_queue(self, queue) -> None:
+        """Swap the FIFO pending queue for a class-aware one (QoS).
+
+        ``queue`` must speak the deque subset the router uses (append /
+        popleft / len / iteration) — in practice a
+        :class:`~repro.qos.queueing.PriorityPendingQueue`.  Requests
+        already waiting migrate in arrival order, so the swap is safe
+        mid-run and conservation counters are untouched.
+        """
+        while self.pending:
+            queue.append(self.pending.popleft())
+        self.pending = queue
+
+    # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
         self.submitted += 1
         target = self._pick()

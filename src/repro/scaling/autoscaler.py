@@ -71,6 +71,12 @@ class Autoscaler:
         self.plan_for = plan_for
         self.config = config or AutoscalerConfig()
         self.loading: list[PipelineReplica] = []
+        # Optional QoS hook: a callable returning the tenant's scale-out
+        # urgency (>= 0, see AttainmentTracker.pressure).  While the
+        # tenant misses its class SLO the effective utilization target
+        # drops, so a violated interactive tenant scales out before a
+        # happy batch tenant.  None (the default) changes nothing.
+        self.slo_pressure: Callable[[], float] | None = None
         self._blocked_since: float | None = None
         self._low_since: float | None = None
         self._last_scale_out = -math.inf
@@ -136,8 +142,12 @@ class Autoscaler:
 
         # Eq. 5: coordination-aware instance count for the offered rate,
         # with Eq. 12's burst headroom lowering the utilization target as
-        # the live CV rises.
-        effective_util = cfg.target_utilization / (1.0 + cfg.cv_headroom * cv)
+        # the live CV rises, and QoS attainment pressure lowering it
+        # further while the tenant's class SLO is being missed.
+        pressure = self.slo_pressure() if self.slo_pressure is not None else 0.0
+        effective_util = cfg.target_utilization / (
+            (1.0 + cfg.cv_headroom * cv) * (1.0 + pressure)
+        )
         desired = instance_count(
             rate / max(effective_util, 1e-6),
             per_replica,

@@ -14,6 +14,7 @@ from repro.scenarios.driver import (
     ScenarioCase,
     ScenarioDriver,
     ScenarioReport,
+    TenantQoS,
     run_scenario_case,
     run_scenarios,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "ScenarioEvent",
     "ScenarioReport",
     "ScenarioSpec",
+    "TenantQoS",
     "get_scenario",
     "run_scenario_case",
     "run_scenarios",

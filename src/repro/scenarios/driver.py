@@ -31,6 +31,8 @@ from repro.experiments.common import (
     make_workload_sampler,
 )
 from repro.metrics.collector import MetricsCollector, RunSummary
+from repro.qos.admission import build_tenant_controller
+from repro.qos.classes import DEFAULT_CLASS, get_slo_class
 from repro.scenarios.spec import ArrivalSegment, ScenarioSpec
 from repro.validation.auditor import InvariantAuditor, Violation
 from repro.validation.chaos import (
@@ -60,6 +62,33 @@ class ScenarioCase:
 
 
 @dataclass
+class TenantQoS:
+    """Per-tenant QoS accounting for one scenario run.
+
+    ``offered`` counts everything the tenant's generators produced (shed
+    included), so ``attainment`` — goodput over offered — charges sheds
+    as SLO misses: a control plane cannot improve its attainment by
+    shedding feasible work.
+    """
+
+    model: str
+    slo_class: str | None
+    offered: int
+    admitted: int
+    shed: int
+    completed: int
+    goodput: int
+
+    @property
+    def attainment(self) -> float:
+        return self.goodput / self.offered if self.offered else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+
+@dataclass
 class ScenarioReport:
     """Outcome of one scenario case (picklable, pool-safe)."""
 
@@ -74,6 +103,8 @@ class ScenarioReport:
     shed: int = 0
     events: dict[str, int] = field(default_factory=dict)
     horizon: float = 0.0
+    qos_enabled: bool = False
+    tenants: dict[str, TenantQoS] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -99,6 +130,8 @@ def _make_segment_arrivals(
         return DiurnalArrivals(
             segment.qps, rng, amplitude=segment.amplitude, period=segment.period
         )
+    if segment.kind == "azure":
+        return _make_azure_arrivals(segment, rng, trace_rng)
     # replay: a seeded synthetic production trace compressed into the
     # segment (one "day" per segment), scaled to the requested mean rate.
     trace = DiurnalTrace(
@@ -114,6 +147,44 @@ def _make_segment_arrivals(
     from repro.workloads.arrivals import ReplayArrivals
 
     return ReplayArrivals(trace.generate(segment.duration), rng)
+
+
+def _make_azure_arrivals(segment: ArrivalSegment, rng, trace_rng):
+    """Replay an Azure-Functions bundle through :class:`ReplayArrivals`.
+
+    ``trace_file`` (a CSV in the ``repro trace synth`` / real-dataset
+    layout) is read when given; otherwise a seeded synthetic bundle is
+    generated in memory with the same generator the CLI uses.  The
+    bundle's busiest app — the paper's "Top-1" app, the one Fig. 1
+    measures — is rescaled and time-compressed into the segment, so the
+    trace's diurnal envelope and burst minutes survive at scenario
+    timescale and the mean rate lands on ``qps``.
+    """
+    from repro.workloads.arrivals import ReplayArrivals
+    from repro.workloads.azure import (
+        AzureSynthConfig,
+        TraceBundle,
+        counts_to_timestamps,
+        synthesize_azure_like,
+    )
+
+    if segment.trace_file:
+        bundle = TraceBundle.read_csv(segment.trace_file)
+    else:
+        bundle = synthesize_azure_like(
+            trace_rng,
+            AzureSynthConfig(
+                n_apps=12, functions_per_app=2, days=1.0,
+                mean_total_rate=max(segment.qps, 1.0),
+            ),
+        )
+    trace = bundle.top_apps(1)[0]
+    # Rescale so the *compressed* replay offers qps on average: the trace
+    # spans trace.duration seconds but plays back in segment.duration.
+    trace = trace.rescaled(segment.qps * segment.duration / trace.duration)
+    stamps = counts_to_timestamps(trace, trace_rng)
+    compression = segment.duration / trace.duration
+    return ReplayArrivals((float(t) * compression for t in stamps), rng)
 
 
 class ScenarioDriver:
@@ -177,12 +248,25 @@ class ScenarioDriver:
         epoch = spec.settle
         self.epoch = epoch
         system.reset_measurement_epoch()
-        policy = (
-            QueueCapPolicy(self._total_queue, int(spec.admission_cap))
-            if spec.admission_cap
-            else None
-        )
-        self.gate = AdmissionGate(system.submit, policy)
+        if spec.qos_enabled:
+            # The QoS control plane: class-aware routing + attainment
+            # signals on the system, one admission chain per tenant.
+            class_map = {
+                m.model: get_slo_class(m.slo_class or DEFAULT_CLASS)
+                for m in spec.models
+            }
+            system.enable_qos(class_map)
+            self.gate = build_tenant_controller(
+                system, class_map, cap=int(spec.admission_cap)
+            )
+        else:
+            # The null policy: one shared queue-cap gate (or nothing).
+            policy = (
+                QueueCapPolicy(self._total_queue, int(spec.admission_cap))
+                if spec.admission_cap
+                else None
+            )
+            self.gate = AdmissionGate(system.submit, policy)
         self.auditor = InvariantAuditor(system, gates=[self.gate])
         self.injector = FailureInjector(
             sim,
@@ -228,22 +312,23 @@ class ScenarioDriver:
                 model=script.model,
                 prompt_median=script.prompt_median,
                 output_median=script.output_median,
-                slo_latency=script.slo_latency,
+                slo_latency=script.effective_slo,
                 extra_models=(),
             )
             for i, segment in enumerate(script.segments):
                 self.sim.schedule_at(
                     epoch + segment.start,
                     self._start_segment,
-                    script.model,
+                    script,
                     model_cfg,
                     segment,
                     i,
                 )
 
     def _start_segment(
-        self, model: str, model_cfg: ExperimentConfig, segment: ArrivalSegment, index: int
+        self, script, model_cfg: ExperimentConfig, segment: ArrivalSegment, index: int
     ) -> None:
+        model = script.model
         tag = f"_{model}_s{index}"
         arrivals = _make_segment_arrivals(
             segment,
@@ -251,7 +336,13 @@ class ScenarioDriver:
             self.streams.stream(f"trace{tag}"),
         )
         sampler = make_workload_sampler(
-            model_cfg, self.streams, model=model, tag=tag
+            model_cfg,
+            self.streams,
+            model=model,
+            tag=tag,
+            # Segment override wins over the tenant class; unclassed
+            # tenants keep minting historical (class-free) requests.
+            slo_class=segment.slo_class or script.slo_class,
         )
         generator = WorkloadGenerator(
             self.sim, arrivals, sampler, self.gate.submit, segment.duration
@@ -305,9 +396,16 @@ class ScenarioDriver:
         measured = max(spec.duration, 1.0) + spec.drain
         aggregate = self.system.summarize(measured)
         per_model: dict[str, RunSummary] = {}
+        tenants: dict[str, TenantQoS] = {}
         for script in spec.models:
-            per_model[script.model] = self._model_summary(
-                script.model, measured, epoch
+            summary = self._model_summary(script.model, measured, epoch)
+            row = self._tenant_row(script, summary)
+            tenants[script.model] = row
+            per_model[script.model] = replace(
+                summary,
+                slo_class=script.slo_class or "",
+                shed=row.shed,
+                slo_attainment=row.attainment,
             )
         offered = sum(
             g.offered for gens in self.generators.values() for g in gens
@@ -325,6 +423,25 @@ class ScenarioDriver:
             shed=self.gate.stats.rejected,
             events=dict(sorted(self.event_counts.items())),
             horizon=spec.horizon,
+            qos_enabled=spec.qos_enabled,
+            tenants=tenants,
+        )
+
+    def _tenant_row(self, script, summary: RunSummary) -> TenantQoS:
+        """Per-tenant QoS accounting (offered includes gate sheds)."""
+        generators = self.generators[script.model]
+        offered = sum(g.offered for g in generators)
+        shed = sum(
+            1 for g in generators for r in g.requests if r.rejected
+        )
+        return TenantQoS(
+            model=script.model,
+            slo_class=script.slo_class,
+            offered=offered,
+            admitted=offered - shed,
+            shed=shed,
+            completed=summary.completed,
+            goodput=summary.goodput,
         )
 
     def _model_summary(

@@ -237,6 +237,76 @@ DIURNAL_DRIFT = ScenarioSpec(
 )
 
 
+PRIORITY_INVERSION = ScenarioSpec(
+    name="priority-inversion",
+    description=(
+        "An interactive tenant and a batch backlog collide during a "
+        "reclamation storm: without per-tenant QoS the shared gate sheds "
+        "both classes alike and batch pressure starves the latency-"
+        "sensitive tenant of scarce GPUs (run `repro qos` for the "
+        "control-plane on/off comparison)."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            slo_class="interactive",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=6.0, cv=2.0),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            slo_class="batch",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=10.0),
+                ArrivalSegment(  # the backlog wave that inverts priorities
+                    "burst", start=10.0, duration=30.0, qps=8.0, cv=6.0
+                ),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=15.0, action="reclaim"),
+        ScenarioEvent(at=22.0, action="reclaim"),
+        ScenarioEvent(at=30.0, action="reclaim", count=2),
+        ScenarioEvent(at=40.0, action="reclaim"),
+    ),
+    downtime_mean=8.0,
+    admission_cap=64,
+)
+
+AZURE_REPLAY = ScenarioSpec(
+    name="azure-replay",
+    description=(
+        "Two tenants replay the busiest apps of an Azure-Functions-style "
+        "bundle (the `repro trace synth` schema: Zipf apps, diurnal "
+        "envelope, burst minutes) compressed into the traffic window, "
+        "while the platform reclaims GPUs."
+    ),
+    cluster="small",
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            segments=(
+                ArrivalSegment("azure", start=0.0, duration=60.0, qps=6.0),
+            ),
+        ),
+        ModelScript(
+            "WHISPER-9B",
+            segments=(
+                ArrivalSegment("azure", start=10.0, duration=45.0, qps=3.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=20.0, action="reclaim"),
+        ScenarioEvent(at=35.0, action="scale_out", model="LLAMA2-7B"),
+    ),
+    admission_cap=128,
+)
+
+
 SCENARIOS: dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -247,6 +317,8 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         COLDSTART_WAVE,
         TRACE_REPLAY,
         DIURNAL_DRIFT,
+        PRIORITY_INVERSION,
+        AZURE_REPLAY,
     )
 }
 

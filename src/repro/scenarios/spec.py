@@ -25,10 +25,12 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.models.zoo import MODEL_ZOO
+from repro.qos.classes import SLO_CLASSES
 
-SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay")
+SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay", "azure")
 EVENT_ACTIONS = ("reclaim", "fail_server", "drain", "refactor", "scale_out")
 CLUSTERS = ("paper", "small")
+QOS_MODES = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,18 @@ class ArrivalSegment:
         Replays a seeded synthetic production trace
         (:class:`~repro.workloads.traces.DiurnalTrace`) scaled to ``qps``
         mean rate; ``cv`` is ignored.
+    ``azure``
+        Replays an Azure-Functions-style trace bundle (the ``repro trace
+        synth`` schema) through
+        :class:`~repro.workloads.arrivals.ReplayArrivals`: the bundle's
+        busiest app, time-compressed into the segment and rescaled to
+        ``qps`` mean rate.  ``trace_file`` names a CSV written by
+        ``repro trace synth`` (or the real dataset); empty synthesises a
+        seeded bundle in memory.  ``cv`` is ignored.
+
+    ``slo_class`` optionally overrides the tenant's QoS class for this
+    segment's requests (e.g. an interactive tenant running a batch
+    backfill overnight); ``None`` inherits the model's class.
     """
 
     kind: str = "steady"
@@ -63,6 +77,8 @@ class ArrivalSegment:
     burst_cycle: float = 30.0  # burst: mean calm+burst episode cycle (s)
     amplitude: float = 0.6  # diurnal: peak swing as a fraction of qps
     period: float = 120.0  # diurnal: seconds per synthetic "day"
+    trace_file: str = ""  # azure: CSV bundle path ("" = seeded synthetic)
+    slo_class: str | None = None  # per-segment QoS class override
 
     def __post_init__(self) -> None:
         if self.kind not in SEGMENT_KINDS:
@@ -91,6 +107,15 @@ class ArrivalSegment:
                 f"segment period/burst_cycle must be positive: "
                 f"{self.period}/{self.burst_cycle}"
             )
+        if self.trace_file and self.kind != "azure":
+            raise ValueError(
+                f"trace_file only applies to azure segments, not {self.kind!r}"
+            )
+        if self.slo_class is not None and self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"unknown SLO class {self.slo_class!r}; "
+                f"available: {sorted(SLO_CLASSES)}"
+            )
 
     @property
     def end(self) -> float:
@@ -99,13 +124,21 @@ class ArrivalSegment:
 
 @dataclass(frozen=True)
 class ModelScript:
-    """One tenant: a model plus its phased arrival script."""
+    """One tenant: a model plus its phased arrival script.
+
+    ``slo_class`` names the tenant's QoS class (``interactive`` /
+    ``standard`` / ``batch`` / ``best_effort``); ``None`` keeps the
+    historical unclassed behaviour where ``slo_latency`` alone defines
+    the goodput deadline.  A classed tenant's requests carry the class
+    and are judged against *its* latency target.
+    """
 
     model: str
     segments: tuple[ArrivalSegment, ...] = (ArrivalSegment(),)
     prompt_median: int = 128
     output_median: int = 8
     slo_latency: float = 10.0
+    slo_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.model not in MODEL_ZOO:
@@ -114,11 +147,23 @@ class ModelScript:
             )
         if not self.segments:
             raise ValueError(f"{self.model}: at least one arrival segment required")
+        if self.slo_class is not None and self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"{self.model}: unknown SLO class {self.slo_class!r}; "
+                f"available: {sorted(SLO_CLASSES)}"
+            )
 
     @property
     def horizon(self) -> float:
         """Offset at which this tenant's last segment ends."""
         return max(s.end for s in self.segments)
+
+    @property
+    def effective_slo(self) -> float:
+        """The tenant's goodput deadline: class target when classed."""
+        if self.slo_class is not None:
+            return SLO_CLASSES[self.slo_class].latency_target
+        return self.slo_latency
 
 
 @dataclass(frozen=True)
@@ -174,9 +219,20 @@ class ScenarioSpec:
     batch_cap: int = 16
     downtime_mean: float = 10.0  # reclamation downtime (s, exponential)
     initial_replicas: int | None = None  # None = the factory's provisioning
+    # QoS control plane: "auto" enables it iff any tenant/segment declares
+    # an SLO class, "on"/"off" force it.  Class annotations always shape
+    # the *workload* (deadlines, request stamping); this switch only
+    # gates the control plane (per-tenant admission, priority routing,
+    # attainment-driven scaling) — so on-vs-off is an apples-to-apples
+    # policy comparison over identical traffic.
+    qos: str = "auto"
     description: str = ""
 
     def __post_init__(self) -> None:
+        if self.qos not in QOS_MODES:
+            raise ValueError(
+                f"unknown qos mode {self.qos!r}; choose from {QOS_MODES}"
+            )
         if self.cluster not in CLUSTERS:
             raise ValueError(
                 f"unknown cluster {self.cluster!r}; choose from {CLUSTERS}"
@@ -212,6 +268,19 @@ class ScenarioSpec:
     @property
     def model_names(self) -> tuple[str, ...]:
         return tuple(m.model for m in self.models)
+
+    @property
+    def qos_enabled(self) -> bool:
+        """Whether the QoS control plane runs for this scenario."""
+        if self.qos == "on":
+            return True
+        if self.qos == "off":
+            return False
+        return any(
+            m.slo_class is not None
+            or any(s.slo_class is not None for s in m.segments)
+            for m in self.models
+        )
 
     # ------------------------------------------------------------------
     # Serialisation (dict / JSON round-trip)

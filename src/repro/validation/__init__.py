@@ -24,6 +24,7 @@ from repro.validation.auditor import (
 )
 from repro.validation.chaos import (
     CHAOS_SYSTEMS,
+    PAPER_FLEET_CLASSES,
     PAPER_FLEETS,
     ChaosCase,
     ChaosReport,
@@ -35,6 +36,7 @@ from repro.validation.chaos import (
 from repro.validation.migration_fuzz import (
     MigrationFuzzCase,
     MigrationFuzzReport,
+    check_method_selection,
     check_schedule,
     fuzz_migration_case,
     fuzz_seeds,
@@ -43,6 +45,7 @@ from repro.validation.migration_fuzz import (
 __all__ = [
     "CHAOS_SYSTEMS",
     "PAPER_FLEETS",
+    "PAPER_FLEET_CLASSES",
     "ChaosCase",
     "ChaosReport",
     "ChaosSchedule",
@@ -52,6 +55,7 @@ __all__ = [
     "MigrationFuzzReport",
     "Violation",
     "audit_seeds",
+    "check_method_selection",
     "check_schedule",
     "fuzz_migration_case",
     "fuzz_seeds",

@@ -28,6 +28,12 @@ reduces to):
 ``request-conservation`` / ``completion-uniqueness``
     Every generated request is rejected at the admission gate, completed
     exactly once, or still resident in an accounted queue — none lost.
+``admission-accounting`` / ``shed-accounting``
+    Every gate's books balance — ``offered == admitted + shed`` at the
+    aggregate level and per tenant (tenant triples must also sum to the
+    aggregate) — and sheds are *exactly once*: the number of requests
+    marked rejected equals the gates' shed count, and no shed request
+    ever completes.
 ``allocator-empty``
     After shutdown + quiesce the allocator holds no live reservation and
     no GPU carries a stage allocation (no leaked reservations).
@@ -132,6 +138,7 @@ class InvariantAuditor:
         out += self._check_router_reconciliation()
         out += self._check_router_hygiene()
         out += self._check_request_conservation()
+        out += self._check_admission_accounting()
         if expect_empty_allocator:
             out += self._check_allocator_empty()
         return out
@@ -329,6 +336,86 @@ class InvariantAuditor:
                     f"{admitted - len(completed_ids) - resident} request(s) lost",
                 )
             )
+        return out
+
+    def _check_admission_accounting(self) -> list[Violation]:
+        """Gate books balance, per tenant, and sheds are exactly-once."""
+        out: list[Violation] = []
+        for i, gate in enumerate(self.gates):
+            stats = gate.stats
+            if stats.offered != stats.admitted + stats.rejected:
+                out.append(
+                    Violation(
+                        "admission-accounting",
+                        f"gate#{i}: offered {stats.offered} != admitted "
+                        f"{stats.admitted} + shed {stats.rejected}",
+                    )
+                )
+            tenant_stats = getattr(gate, "tenant_stats", None)
+            if tenant_stats is None:
+                continue
+            tenants = tenant_stats()
+            for model, t in tenants.items():
+                if t.offered != t.admitted + t.rejected:
+                    out.append(
+                        Violation(
+                            "admission-accounting",
+                            f"gate#{i} tenant {model}: offered {t.offered} "
+                            f"!= admitted {t.admitted} + shed {t.rejected}",
+                        )
+                    )
+            # Tenant triples must sum to (at most) the aggregate: the
+            # difference is exactly the unregistered pass-through traffic,
+            # which by construction is never shed.
+            spill = stats.offered - sum(t.offered for t in tenants.values())
+            shed_spill = stats.rejected - sum(
+                t.rejected for t in tenants.values()
+            )
+            if spill < 0 or shed_spill != 0:
+                out.append(
+                    Violation(
+                        "admission-accounting",
+                        f"gate#{i}: tenant triples do not reconcile with "
+                        f"the aggregate (offered spill {spill}, shed "
+                        f"spill {shed_spill})",
+                    )
+                )
+        if self.gates and self.generators:
+            # Exactly-once shedding, checked against ground truth: the
+            # population of requests carrying the rejected mark is the
+            # population the gates counted — no double shed (a request
+            # counted twice would leave marks != counts), no unmarked
+            # shed, no shed minted outside a gate.
+            marked = sum(
+                1
+                for g in self.generators
+                for r in g.requests
+                if r.rejected
+            )
+            counted = sum(gate.stats.rejected for gate in self.gates)
+            if marked != counted:
+                out.append(
+                    Violation(
+                        "shed-accounting",
+                        f"{marked} request(s) marked rejected but gates "
+                        f"counted {counted} shed(s)",
+                    )
+                )
+            completed_shed = [
+                r.rid
+                for g in self.generators
+                for r in g.requests
+                if r.rejected and r.completed
+            ]
+            if completed_shed:
+                out.append(
+                    Violation(
+                        "shed-accounting",
+                        f"shed request(s) completed anyway: "
+                        f"{completed_shed[:8]}"
+                        f"{'...' if len(completed_shed) > 8 else ''}",
+                    )
+                )
         return out
 
     def _check_allocator_empty(self) -> list[Violation]:

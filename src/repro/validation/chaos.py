@@ -68,15 +68,36 @@ class ChaosCase:
     settle: float = 60.0  # initial replicas load before traffic/chaos
     duration: float = 30.0  # traffic + chaos window
     mean_action_interval: float = 1.0  # mean gap between chaos actions (s)
+    # (model, class-name) annotations: annotated tenants get QoS classes
+    # (class deadlines, priority routing, per-tenant admission) and the
+    # run is audited for the per-tenant shed-accounting invariant too.
+    slo_classes: tuple[tuple[str, str], ...] = ()
     max_events: int = 10_000_000
 
     def __post_init__(self) -> None:
         if len(set(self.models)) != len(self.models):
             raise ValueError(f"chaos case repeats a tenant: {self.models}")
+        from repro.qos.classes import SLO_CLASSES
+
+        for model, name in self.slo_classes:
+            if model not in self.models:
+                raise ValueError(
+                    f"slo_classes annotates {model!r}, not a tenant of "
+                    f"{self.models}"
+                )
+            if name not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {name!r}; "
+                    f"available: {sorted(SLO_CLASSES)}"
+                )
 
     @property
     def models(self) -> tuple[str, ...]:
         return (self.model, *self.extra_models)
+
+    @property
+    def class_of(self) -> dict[str, str]:
+        return dict(self.slo_classes)
 
 
 # Model fleets the paper-cluster chaos cases rotate through (kept small
@@ -88,6 +109,16 @@ PAPER_FLEETS: tuple[tuple[str, ...], ...] = (
     ("OPT-66B", "LLAMA2-7B"),
 )
 
+# Class annotations for the fleets above (position-matched): every
+# paper-cluster chaos case is a *multi-class* fleet, so reclaim / drain /
+# refactor interleavings run against priority routing and per-tenant
+# admission, and the shed-accounting invariant is exercised under chaos.
+PAPER_FLEET_CLASSES: tuple[tuple[str, ...], ...] = (
+    ("interactive", "batch"),
+    ("interactive", "standard", "batch"),
+    ("batch", "interactive"),
+)
+
 
 def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
     """A paper-cluster multi-model chaos case for ``seed``.
@@ -96,7 +127,9 @@ def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
     ``audit_seeds``' documented ``case_kwargs`` pass-through even for
     keys the paper shape also sets (model, extra_models, cluster).
     """
-    fleet = PAPER_FLEETS[seed % len(PAPER_FLEETS)]
+    index = seed % len(PAPER_FLEETS)
+    fleet = PAPER_FLEETS[index]
+    classes = dict(zip(fleet, PAPER_FLEET_CLASSES[index]))
     fields = dict(model=fleet[0], extra_models=fleet[1:], cluster="paper")
     fields.update(kwargs)
     # A pinned primary may coincide with a fleet member; drop the
@@ -104,6 +137,11 @@ def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
     fields["extra_models"] = tuple(
         m for m in fields["extra_models"] if m != fields["model"]
     )
+    if "slo_classes" not in fields:
+        tenants = (fields["model"], *fields["extra_models"])
+        fields["slo_classes"] = tuple(
+            (m, classes[m]) for m in tenants if m in classes
+        )
     return ChaosCase(system=system, seed=seed, **fields)
 
 
@@ -119,6 +157,7 @@ class ChaosReport:
     shed: int = 0
     offered_by_model: dict[str, int] = field(default_factory=dict)
     completed_by_model: dict[str, int] = field(default_factory=dict)
+    shed_by_model: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -344,13 +383,29 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
         pass
     sim.run(until=case.settle, max_events=case.max_events)
 
-    policy = QueueCapPolicy(_total_queue(system), int(cap)) if cap else None
-    gate = AdmissionGate(system.submit, policy)
+    class_of = case.class_of
+    if class_of:
+        # Multi-class fleet: the QoS control plane replaces the shared
+        # gate — per-tenant policy chains, priority routing, attainment
+        # signals — with unannotated tenants passing through unchanged.
+        from repro.qos.admission import build_tenant_controller
+        from repro.qos.classes import get_slo_class
+
+        class_map = {m: get_slo_class(c) for m, c in class_of.items()}
+        system.enable_qos(class_map)
+        gate = build_tenant_controller(system, class_map, cap=int(cap))
+    else:
+        policy = (
+            QueueCapPolicy(_total_queue(system), int(cap)) if cap else None
+        )
+        gate = AdmissionGate(system.submit, policy)
     generators = [
         WorkloadGenerator(
             sim,
             make_arrival_process(cfg, streams),
-            make_workload_sampler(cfg, streams),
+            make_workload_sampler(
+                cfg, streams, slo_class=class_of.get(case.model)
+            ),
             gate.submit,
             case.duration,
         )
@@ -374,7 +429,11 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
                 sim,
                 make_arrival_process(extra_cfg, streams, tag=f"_{extra}"),
                 make_workload_sampler(
-                    extra_cfg, streams, model=extra, tag=f"_{extra}"
+                    extra_cfg,
+                    streams,
+                    model=extra,
+                    tag=f"_{extra}",
+                    slo_class=class_of.get(extra),
                 ),
                 gate.submit,
                 case.duration,
@@ -430,6 +489,10 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
             g.sampler.model: g.offered for g in generators
         },
         completed_by_model=completed_by_model,
+        shed_by_model={
+            g.sampler.model: sum(1 for r in g.requests if r.rejected)
+            for g in generators
+        },
     )
 
 

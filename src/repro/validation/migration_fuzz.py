@@ -16,6 +16,17 @@ scheduling invariants can be stated exactly:
       on every channel all KV shards complete before any parameter load
       starts, so the switchover pause is never gated behind bulk loads.
 
+:func:`check_method_selection` (the §8 DataMover hierarchy)
+    * **RDMA preference** — a cross-server stream whose endpoints both
+      have RDMA uses RDMA, never the sendfile fallback;
+    * **fallback ordering** — same-server streams stay on the local
+      PCIe path, RDMA-less pairs fall back to sendfile, and NCCL appears
+      only under ``force_nccl`` (the ablation knob);
+    * **costs honoured** — each transfer's scheduled slot equals the
+      chosen method's setup latency plus bytes over *that method's*
+      bandwidth, recomputed independently from the cost table (a plan
+      that claims RDMA but schedules at sendfile speed is caught).
+
 :func:`fuzz_link_case` (for :class:`~repro.transfer.links.FairShareLink`)
     * every transfer completes, exactly once;
     * no transfer beats its physics: duration >= latency +
@@ -32,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomStreams
+from repro.transfer.datamover import DataMover, TransferCosts, TransferMethod
 from repro.transfer.links import FairShareLink, LinkSpec, MB
 from repro.transfer.migration import (
     Endpoint,
@@ -189,8 +201,111 @@ def check_schedule(
 
 
 # ----------------------------------------------------------------------
+# Method-selection invariants (the §8 DataMover hierarchy)
+# ----------------------------------------------------------------------
+def expected_method(item: MigrationItem, *, force_nccl: bool = False) -> TransferMethod:
+    """The §8 decision procedure, restated independently of DataMover.
+
+    ``force_nccl`` wins (the ablation), same-server stays local, RDMA is
+    preferred whenever *both* endpoints support it, and sendfile is the
+    only remaining fallback.  Keeping this a second implementation is the
+    point: a regression in the production hierarchy (e.g. falling back to
+    sendfile despite RDMA on both ends) disagrees with it.
+    """
+    if force_nccl:
+        return TransferMethod.NCCL
+    if item.same_server:
+        return TransferMethod.LOCAL
+    if item.src.rdma and item.dst.rdma:
+        return TransferMethod.RDMA
+    return TransferMethod.SENDFILE
+
+
+def _method_costs(costs: TransferCosts, method: TransferMethod) -> tuple[float, float]:
+    """(setup, bandwidth) of ``method`` in the given cost table."""
+    return {
+        TransferMethod.LOCAL: (costs.local_setup, costs.local_bandwidth),
+        TransferMethod.RDMA: (costs.rdma_setup, costs.rdma_bandwidth),
+        TransferMethod.SENDFILE: (costs.sendfile_setup, costs.sendfile_bandwidth),
+        TransferMethod.NCCL: (costs.nccl_setup, costs.nccl_bandwidth),
+    }[method]
+
+
+def check_method_selection(
+    items: list[MigrationItem],
+    schedule: MigrationSchedule,
+    *,
+    costs: TransferCosts,
+    force_nccl: bool = False,
+) -> list[Violation]:
+    """Method-selection invariants for one planned transition.
+
+    Items absent from the schedule are ignored here —
+    :func:`check_schedule`'s conservation check owns that failure mode.
+    """
+    out: list[Violation] = []
+    plans = {id(t.item): t for t in schedule.transfers}
+    for item in items:
+        scheduled = plans.get(id(item))
+        if scheduled is None:
+            continue
+        plan = scheduled.plan
+        expected = expected_method(item, force_nccl=force_nccl)
+        if plan.method is not expected:
+            out.append(
+                Violation(
+                    "migration-method",
+                    f"{item.tag}: chose {plan.method.value}, hierarchy "
+                    f"demands {expected.value} (same_server="
+                    f"{item.same_server}, rdma={item.src.rdma}/"
+                    f"{item.dst.rdma}, force_nccl={force_nccl})",
+                )
+            )
+            continue
+        setup, bandwidth = _method_costs(costs, plan.method)
+        if plan.bandwidth != bandwidth or plan.setup_time != setup:
+            out.append(
+                Violation(
+                    "migration-method-costs",
+                    f"{item.tag}: plan carries setup {plan.setup_time}/"
+                    f"bw {plan.bandwidth}, the {plan.method.value} cost "
+                    f"table says {setup}/{bandwidth}",
+                )
+            )
+            continue
+        # The chosen method's bandwidth must be what the schedule
+        # *actually budgets*: slot length == setup + bytes / bandwidth.
+        floor = setup + item.nbytes / bandwidth
+        slot = scheduled.end - scheduled.start
+        if abs(slot - floor) > max(floor, 1.0) * 1e-9 + _EPS:
+            out.append(
+                Violation(
+                    "migration-method-costs",
+                    f"{item.tag}: scheduled slot {slot:.9f}s but "
+                    f"{plan.method.value} physics give {floor:.9f}s",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Random item sets
 # ----------------------------------------------------------------------
+def random_costs(rng) -> TransferCosts:
+    """A random (but physical) transfer cost table spanning the §8 regimes."""
+    gb = 1024 * MB
+    return TransferCosts(
+        rdma_setup=float(rng.uniform(50e-6, 500e-6)),
+        rdma_bandwidth=float(rng.uniform(5.0, 20.0)) * gb,
+        sendfile_setup=float(rng.uniform(0.5e-3, 5e-3)),
+        sendfile_bandwidth=float(rng.uniform(2.0, 10.0)) * gb,
+        nccl_setup=float(rng.uniform(1.0, 5.0)),
+        nccl_bandwidth=float(rng.uniform(5.0, 20.0)) * gb,
+        local_setup=float(rng.uniform(5e-6, 50e-6)),
+        local_bandwidth=float(rng.uniform(10.0, 40.0)) * gb,
+    )
+
+
 def random_items(rng, *, max_items: int, max_servers: int) -> list[MigrationItem]:
     """A random (possibly degenerate) migration item set."""
     n_servers = int(rng.integers(1, max_servers + 1))
@@ -229,12 +344,23 @@ def fuzz_migration_case(case: MigrationFuzzCase) -> MigrationFuzzReport:
                 rng, max_items=case.max_items, max_servers=case.max_servers
             )
             kv_first = bool(rng.random() < 0.5)
-            planner = MigrationPlanner(force_nccl=bool(rng.random() < 0.2))
+            # A third of the rounds randomise the cost table: the
+            # bandwidth-actually-used check must hold for *any* costs,
+            # not just the defaults it could have been hard-coded to.
+            costs = (
+                random_costs(rng) if rng.random() < 1 / 3 else TransferCosts()
+            )
+            planner = MigrationPlanner(
+                DataMover(costs), force_nccl=bool(rng.random() < 0.2)
+            )
             schedule = planner.schedule(items, kv_first=kv_first)
             report.schedules += 1
             report.items += len(items)
             report.violations += check_schedule(
                 items, schedule, kv_first=kv_first
+            )
+            report.violations += check_method_selection(
+                items, schedule, costs=costs, force_nccl=planner.force_nccl
             )
         link_rng = RandomStreams(case.seed).stream("link-fuzz")
         for _ in range(case.link_rounds):

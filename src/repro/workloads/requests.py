@@ -22,6 +22,9 @@ class Request:
     prompt_tokens: int
     output_tokens: int
     slo_latency: float
+    # QoS class name (see repro.qos.classes); None = unclassed (the
+    # historical behaviour: slo_latency alone defines the deadline).
+    slo_class: str | None = None
     # --- lifecycle, filled during simulation ---
     batch_time: float | None = None  # admitted into a batch
     exec_start: float | None = None  # first stage began computing
@@ -101,6 +104,7 @@ class RequestSampler:
         output: LengthDistribution | None = None,
         slo_latency: float = 5.0,
         rid_base: int = 0,
+        slo_class: str | None = None,
     ):
         self.model = model
         self.rng = rng
@@ -108,6 +112,7 @@ class RequestSampler:
         self.output = output or LengthDistribution(median=16, sigma=0.7, lo=1, hi=256)
         self.slo_latency = slo_latency
         self.rid_base = rid_base
+        self.slo_class = slo_class
         self._ids = itertools.count()
 
     def sample(self, arrival_time: float) -> Request:
@@ -118,4 +123,5 @@ class RequestSampler:
             prompt_tokens=self.prompt.sample(self.rng),
             output_tokens=self.output.sample(self.rng),
             slo_latency=self.slo_latency,
+            slo_class=self.slo_class,
         )

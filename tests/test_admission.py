@@ -14,7 +14,7 @@ from repro.core.admission import (
 from repro.workloads.requests import Request
 
 
-def make_request(rid=0, t=0.0, slo=5.0):
+def make_request(rid=0, t=0.0, slo=5.0, slo_class=None):
     return Request(
         rid=rid,
         model="m",
@@ -22,6 +22,7 @@ def make_request(rid=0, t=0.0, slo=5.0):
         prompt_tokens=100,
         output_tokens=10,
         slo_latency=slo,
+        slo_class=slo_class,
     )
 
 
@@ -102,6 +103,15 @@ class TestSLOFeasible:
     def test_bad_headroom_rejected(self):
         with pytest.raises(ValueError, match="headroom"):
             self.make_policy(headroom=0.0)
+
+    def test_classed_request_judged_against_its_own_class_deadline(self):
+        """Regression (QoS): a batch-class request whose sampler froze an
+        interactive-grade slo_latency must be admitted while its *class*
+        deadline (30 s) is feasible — not shed against the 2.5 s target
+        it was never promised."""
+        policy = self.make_policy(queue=100, capacity=10.0, service=1.0)
+        assert policy.admit(make_request(slo=2.5, slo_class="batch"))
+        assert not policy.admit(make_request(slo=2.5))
 
 
 class TestTokenBucket:

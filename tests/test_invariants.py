@@ -385,3 +385,107 @@ class TestAllocatorBalanceProperty:
         with pytest.raises(AllocationError):
             allocator.release(res)
         self._assert_balanced(allocator, cluster)
+
+
+# ----------------------------------------------------------------------
+# QoS shed accounting: multi-class chaos + detection power
+# ----------------------------------------------------------------------
+class TestMultiClassChaos:
+    def test_paper_fleets_are_class_annotated(self):
+        """Every paper-cluster chaos case is a multi-class fleet, so the
+        audit exercises priority routing + per-tenant admission under
+        reclaim/drain/refactor interleavings."""
+        for seed in range(6):
+            case = paper_case("FlexPipe", seed)
+            classes = case.class_of
+            assert set(classes) == set(case.models)
+            assert "interactive" in classes.values()
+
+    def test_case_kwargs_can_override_class_annotations(self):
+        case = paper_case("FlexPipe", 3, slo_classes=())
+        assert case.slo_classes == ()
+
+    def test_annotations_validated(self):
+        with pytest.raises(ValueError, match="not a tenant"):
+            ChaosCase(slo_classes=(("BERT-21B", "batch"),))
+        with pytest.raises(ValueError, match="SLO class"):
+            ChaosCase(slo_classes=(("LLAMA2-7B", "gold"),))
+
+    @pytest.mark.parametrize("system", ("FlexPipe", "Tetris"))
+    def test_multiclass_small_cluster_case_holds_invariants(self, system):
+        """A small-cluster two-tenant case with explicit classes: the
+        shed-accounting invariant (admitted + shed == offered, per
+        tenant; sheds exactly once) holds under chaos."""
+        case = ChaosCase(
+            system=system,
+            seed=5,
+            extra_models=("BERT-21B",),
+            slo_classes=(
+                ("LLAMA2-7B", "interactive"),
+                ("BERT-21B", "batch"),
+            ),
+        )
+        report = run_chaos_case(case)
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        for model in case.models:
+            assert report.offered_by_model[model] > 0
+        assert report.shed_by_model.keys() == report.offered_by_model.keys()
+
+
+class TestShedAccountingDetection:
+    """The new admission/shed accounting invariants must actually fire."""
+
+    @pytest.fixture
+    def gated_run(self, clean_run):
+        from repro.core.admission import AdmissionGate
+
+        sim, ctx, system, auditor = clean_run
+        gate = AdmissionGate(lambda r: None)
+        # Replay the generated population through the gate's books so the
+        # aggregate triple matches ground truth.
+        for generator in auditor.generators:
+            for request in generator.requests:
+                gate.stats.offered += 1
+                gate.stats.admitted += 1
+        auditor.gates = [gate]
+        return sim, ctx, system, auditor, gate
+
+    def test_balanced_gate_audits_clean(self, gated_run):
+        *_, auditor, gate = gated_run
+        assert auditor.audit_quiesce() == []
+
+    def test_imbalanced_aggregate_flagged(self, gated_run):
+        *_, auditor, gate = gated_run
+        gate.stats.admitted -= 1
+        assert "admission-accounting" in invariants_of(auditor.audit_quiesce())
+
+    def test_imbalanced_tenant_triple_flagged(self, gated_run):
+        from repro.qos import TenantAdmissionController, get_slo_class
+
+        *_, auditor, gate = gated_run
+        controller = TenantAdmissionController(lambda r: None)
+        controller.register("m", get_slo_class("interactive"), [])
+        controller._tenants["m"].stats.offered = 5  # 5 != 0 + 0
+        auditor.gates = [gate, controller]
+        assert "admission-accounting" in invariants_of(auditor.audit_quiesce())
+
+    def test_unmarked_shed_flagged(self, gated_run):
+        """A gate counting a shed with no request marked rejected means a
+        shed vanished (or was double-counted) — exactly-once broken."""
+        *_, auditor, gate = gated_run
+        gate.stats.offered += 1
+        gate.stats.rejected += 1
+        assert "shed-accounting" in invariants_of(auditor.audit_quiesce())
+
+    def test_shed_request_completing_flagged(self, gated_run):
+        *_, system, auditor, gate = gated_run[1:]
+        completed = next(
+            r
+            for g in auditor.generators
+            for r in g.requests
+            if r.completed
+        )
+        completed.rejected = True  # shed mark on a completed request
+        gate.stats.admitted -= 1
+        gate.stats.rejected += 1
+        assert "shed-accounting" in invariants_of(auditor.audit_quiesce())

@@ -10,6 +10,7 @@ import pytest
 
 from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomStreams
+from repro.transfer.datamover import DataMover, TransferMethod, TransferPlan
 from repro.transfer.links import FairShareLink, LinkSpec, MB
 from repro.transfer.migration import (
     Endpoint,
@@ -20,10 +21,13 @@ from repro.transfer.migration import (
 )
 from repro.validation.migration_fuzz import (
     MigrationFuzzCase,
+    check_method_selection,
     check_schedule,
+    expected_method,
     fuzz_link_case,
     fuzz_migration_case,
     fuzz_seeds,
+    random_costs,
     random_items,
 )
 
@@ -194,3 +198,126 @@ class TestLinkProperties:
         handle = link.transfer(100 * MB, max_rate=10 * MB)
         sim.run_until_idle()
         assert handle.duration == pytest.approx(10.0, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# §8 method-selection invariants (DataMover hierarchy through the planner)
+# ----------------------------------------------------------------------
+class TestMethodSelection:
+    def make(self, *, src_rdma=True, dst_rdma=True, same_server=False):
+        src = Endpoint("s0", "s0g0", rdma=src_rdma)
+        dst = Endpoint(
+            "s0" if same_server else "s1",
+            "s0g1" if same_server else "s1g0",
+            rdma=dst_rdma,
+        )
+        return [MigrationItem(ItemKind.KV, 256 * MB, src, dst, tag="kv0")]
+
+    def check(self, items, planner=None, **kwargs):
+        planner = planner or MigrationPlanner()
+        schedule = planner.schedule(items)
+        return schedule, check_method_selection(
+            items,
+            schedule,
+            costs=planner.mover.costs,
+            force_nccl=planner.force_nccl,
+            **kwargs,
+        )
+
+    def test_planner_output_is_clean_for_every_endpoint_shape(self):
+        for kwargs in (
+            {"same_server": True},
+            {"src_rdma": True, "dst_rdma": True},
+            {"src_rdma": True, "dst_rdma": False},
+            {"src_rdma": False, "dst_rdma": False},
+        ):
+            _, violations = self.check(self.make(**kwargs))
+            assert violations == [], "\n".join(map(str, violations))
+
+    def test_expected_hierarchy(self):
+        assert expected_method(self.make(same_server=True)[0]) is TransferMethod.LOCAL
+        assert expected_method(self.make()[0]) is TransferMethod.RDMA
+        assert (
+            expected_method(self.make(dst_rdma=False)[0])
+            is TransferMethod.SENDFILE
+        )
+        assert (
+            expected_method(self.make()[0], force_nccl=True)
+            is TransferMethod.NCCL
+        )
+
+    def test_rdma_demoted_to_sendfile_flagged(self):
+        """The headline §8 property: both endpoints RDMA-capable => the
+        plan must use RDMA, and a sendfile fallback is a regression."""
+        items = self.make()
+        planner = MigrationPlanner()
+        schedule = planner.schedule(items)
+        t = schedule.transfers[0]
+        demoted = DataMover().plan(
+            t.item.nbytes, same_server=False, src_rdma=False, dst_rdma=False
+        )
+        schedule.transfers[0] = ScheduledTransfer(
+            t.item, demoted, t.start, t.start + demoted.duration
+        )
+        found = invariants_of(
+            check_method_selection(items, schedule, costs=planner.mover.costs)
+        )
+        assert "migration-method" in found
+
+    def test_forced_nccl_expected_and_clean(self):
+        planner = MigrationPlanner(force_nccl=True)
+        _, violations = self.check(self.make(), planner=planner)
+        assert violations == []
+        schedule = planner.schedule(self.make())
+        assert schedule.transfers[0].plan.method is TransferMethod.NCCL
+
+    def test_wrong_bandwidth_in_plan_flagged(self):
+        """A plan claiming RDMA but carrying another method's bandwidth
+        breaks the costs-honoured invariant."""
+        items = self.make()
+        planner = MigrationPlanner()
+        schedule = planner.schedule(items)
+        t = schedule.transfers[0]
+        costs = planner.mover.costs
+        forged = TransferPlan(
+            TransferMethod.RDMA,
+            t.plan.nbytes,
+            costs.rdma_setup,
+            costs.sendfile_bandwidth,  # wrong physics for the method
+        )
+        schedule.transfers[0] = ScheduledTransfer(
+            t.item, forged, t.start, t.start + forged.duration
+        )
+        found = invariants_of(
+            check_method_selection(items, schedule, costs=costs)
+        )
+        assert "migration-method-costs" in found
+
+    def test_slot_not_using_method_bandwidth_flagged(self):
+        """A correct plan whose *schedule slot* was stretched (bandwidth
+        not actually used) is caught even though the plan looks right."""
+        items = self.make()
+        planner = MigrationPlanner()
+        schedule = planner.schedule(items)
+        t = schedule.transfers[0]
+        schedule.transfers[0] = ScheduledTransfer(
+            t.item, t.plan, t.start, t.end + 1.0
+        )
+        found = invariants_of(
+            check_method_selection(items, schedule, costs=planner.mover.costs)
+        )
+        assert "migration-method-costs" in found
+
+    def test_randomised_costs_round_trip_clean(self):
+        """The invariants hold for arbitrary (seeded) cost tables — the
+        planner must honour whatever physics it is configured with."""
+        rng = RandomStreams(5).stream("costs")
+        for _ in range(10):
+            costs = random_costs(rng)
+            planner = MigrationPlanner(DataMover(costs))
+            items = random_items(rng, max_items=20, max_servers=4)
+            schedule = planner.schedule(items)
+            violations = check_method_selection(
+                items, schedule, costs=costs
+            )
+            assert violations == [], "\n".join(map(str, violations))

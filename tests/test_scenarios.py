@@ -3,6 +3,8 @@ catalog coverage, and runner determinism/caching (tier-1, fixed seeds)."""
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.experiments.runner import ExperimentRunner
@@ -330,3 +332,164 @@ class TestScenarioRunner:
         r2 = run_scenarios([MINI], ["FlexPipe"], runner=second)
         assert second.cache_hits == 0
         assert second.simulations_run == 1  # re-executed, not replayed
+
+
+# ----------------------------------------------------------------------
+# QoS control plane: spec plumbing, tenant accounting, and the
+# priority-inversion property (the reason the subsystem exists)
+# ----------------------------------------------------------------------
+class TestQoSScenarios:
+    def test_slo_class_round_trips_and_validates(self):
+        spec = get_scenario("priority-inversion")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.qos_enabled
+        with pytest.raises(ValueError, match="SLO class"):
+            ModelScript("LLAMA2-7B", slo_class="gold")
+        with pytest.raises(ValueError, match="SLO class"):
+            ArrivalSegment("steady", slo_class="gold")
+        with pytest.raises(ValueError, match="qos"):
+            ScenarioSpec(
+                name="bad", models=(ModelScript("LLAMA2-7B"),), qos="maybe"
+            )
+
+    def test_qos_modes_auto_on_off(self):
+        unclassed = ScenarioSpec(name="u", models=(ModelScript("LLAMA2-7B"),))
+        assert not unclassed.qos_enabled  # auto + no classes
+        assert replace(unclassed, qos="on").qos_enabled
+        classed = ScenarioSpec(
+            name="c",
+            models=(ModelScript("LLAMA2-7B", slo_class="interactive"),),
+        )
+        assert classed.qos_enabled
+        assert not replace(classed, qos="off").qos_enabled
+        # A segment-level class alone also arms auto mode.
+        segment = ScenarioSpec(
+            name="s",
+            models=(
+                ModelScript(
+                    "LLAMA2-7B",
+                    segments=(ArrivalSegment("steady", slo_class="batch"),),
+                ),
+            ),
+        )
+        assert segment.qos_enabled
+
+    def test_classed_tenant_effective_slo_is_the_class_target(self):
+        script = ModelScript("LLAMA2-7B", slo_class="interactive")
+        assert script.effective_slo == 2.5
+        assert ModelScript("LLAMA2-7B").effective_slo == 10.0
+
+    @pytest.fixture(scope="class")
+    def inversion_reports(self):
+        spec = get_scenario("priority-inversion")
+        return {
+            mode: run_scenario_case(
+                ScenarioCase(replace(spec, qos=mode), "FlexPipe", seed=0)
+            )
+            for mode in ("on", "off")
+        }
+
+    def test_both_policies_hold_every_invariant(self, inversion_reports):
+        for mode, report in inversion_reports.items():
+            assert report.ok, (mode, [str(v) for v in report.violations])
+
+    def test_qos_strictly_improves_interactive_attainment(
+        self, inversion_reports
+    ):
+        """The acceptance property: same seed, identical traffic, the
+        interactive tenant attains strictly more of its SLO with the
+        control plane than under the null policy."""
+        on = inversion_reports["on"].tenants["LLAMA2-7B"]
+        off = inversion_reports["off"].tenants["LLAMA2-7B"]
+        assert on.slo_class == "interactive"
+        assert (on.offered, on.slo_class) == (off.offered, off.slo_class)
+        assert on.attainment > off.attainment
+
+    def test_tenant_books_balance_under_both_policies(self, inversion_reports):
+        for report in inversion_reports.values():
+            for tenant in report.tenants.values():
+                assert tenant.admitted + tenant.shed == tenant.offered
+                assert tenant.completed <= tenant.admitted
+            assert (
+                sum(t.shed for t in report.tenants.values()) == report.shed
+            )
+            assert (
+                sum(t.offered for t in report.tenants.values())
+                == report.offered
+            )
+
+    def test_per_model_summaries_carry_the_qos_fields(self, inversion_reports):
+        report = inversion_reports["on"]
+        summary = report.per_model["LLAMA2-7B"]
+        tenant = report.tenants["LLAMA2-7B"]
+        assert summary.slo_class == "interactive"
+        assert summary.shed == tenant.shed
+        assert summary.slo_attainment == pytest.approx(tenant.attainment)
+        assert report.qos_enabled
+
+    def test_weighted_fair_sheds_batch_harder_than_interactive(
+        self, inversion_reports
+    ):
+        on = inversion_reports["on"]
+        assert (
+            on.tenants["BERT-21B"].shed_rate
+            > on.tenants["LLAMA2-7B"].shed_rate
+        )
+
+
+class TestAzureReplayScenario:
+    def test_azure_segment_validation(self):
+        with pytest.raises(ValueError, match="trace_file"):
+            ArrivalSegment("steady", trace_file="x.csv")
+        ArrivalSegment("azure", trace_file="x.csv")  # fine
+
+    def test_catalog_entry_runs_clean_and_offers_traffic(self):
+        report = run_scenario_case(
+            ScenarioCase(get_scenario("azure-replay"), "FlexPipe", seed=0)
+        )
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        for model in ("LLAMA2-7B", "WHISPER-9B"):
+            assert report.per_model[model].offered > 0
+
+    def test_trace_file_bundle_feeds_replay_arrivals(self, tmp_path):
+        """The `repro trace synth` -> CSV -> scenario path end-to-end."""
+        import numpy as np
+
+        from repro.workloads.azure import AzureSynthConfig, synthesize_azure_like
+
+        csv_path = tmp_path / "bundle.csv"
+        bundle = synthesize_azure_like(
+            np.random.default_rng(7),
+            AzureSynthConfig(n_apps=6, days=1.0, mean_total_rate=8.0),
+        )
+        bundle.write_csv(csv_path)
+        spec = ScenarioSpec(
+            name="azure-file",
+            cluster="small",
+            settle=60.0,
+            drain=10.0,
+            models=(
+                ModelScript(
+                    "LLAMA2-7B",
+                    segments=(
+                        ArrivalSegment(
+                            "azure",
+                            duration=20.0,
+                            qps=5.0,
+                            trace_file=str(csv_path),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        report = run_scenario_case(ScenarioCase(spec, "FlexPipe", seed=0))
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+        # Rescaling targets qps over the segment: ~qps * duration offered.
+        assert report.offered == pytest.approx(100, rel=0.2)
+
+    def test_azure_replay_is_deterministic(self):
+        spec = get_scenario("azure-replay").quick()
+        a = run_scenario_case(ScenarioCase(spec, "FlexPipe", seed=3))
+        b = run_scenario_case(ScenarioCase(spec, "FlexPipe", seed=3))
+        assert a.aggregate == b.aggregate
+        assert a.offered == b.offered
