@@ -11,7 +11,7 @@ simply wrong, which is the paper's critique.
 
 from __future__ import annotations
 
-from repro.baselines.base import BASELINE_STAGE_COUNTS, StaticPipelineSystem
+from repro.baselines.base import StaticPipelineSystem
 from repro.core.context import ServingContext
 from repro.models.zoo import ModelSpec
 from repro.refactoring.granularity import GranularityPolicy

@@ -129,6 +129,15 @@ class StaticPipelineSystem(ServingSystem):
         )
 
     # ------------------------------------------------------------------
+    def enable_qos(self, classes, **kwargs) -> None:
+        """Reactive baselines also clamp scale-out to the share cap."""
+        super().enable_qos(classes, **kwargs)
+        for model, scaler in self.autoscalers.items():
+            scaler.share_headroom = (
+                lambda m=model: self.ctx.allocator.share_headroom(m)
+            )
+
+    # ------------------------------------------------------------------
     def start(self) -> None:
         for model, plan in self.plans.items():
             for _ in range(self.initial_replicas):

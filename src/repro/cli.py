@@ -475,6 +475,12 @@ def _run_qos(args) -> int:
                     "shed rate": f"{tenant.shed_rate:.1%}",
                     "goodput": tenant.goodput,
                     "attainment": f"{tenant.attainment:.1%}",
+                    # Per-tenant GPU-share row: high-water fraction of
+                    # fleet memory vs the tenant's configured cap.
+                    "gpu peak": f"{tenant.gpu_share_peak:.1%}",
+                    "cap": f"{tenant.share_cap:.0%}"
+                    if tenant.share_cap is not None
+                    else "-",
                 }
             )
     print(

@@ -11,12 +11,26 @@ Hard rules implemented (§6.2):
 Soft preferences (the Eq. 6 objective and the Eq. 13 affinity policy) are
 injected as a scoring callable so refactoring/scaling policies stay in
 their own modules.
+
+QoS resource arbitration (opt-in via :meth:`GPUAllocator.enable_arbitration`)
+adds two class-aware rules on top, both inert until enabled:
+
+* **strict-priority contention with preempt-or-wait** — an allocation that
+  finds no feasible fragment may cancel *pending deploys* (replicas still
+  loading, registered via :meth:`register_pending_deploy`) of strictly
+  lower-priority tenants to free their reservations, retrying after each
+  preemption; ACTIVE replicas are never touched, so no in-flight request
+  is ever sacrificed to a deploy race;
+* **per-tenant share caps** — a tenant may hold at most its configured
+  fraction of total fleet GPU memory, enforced on every reservation and
+  resize, so no tenant (any class) can monopolise a scarce cluster.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.cluster.cluster import Cluster
@@ -31,6 +45,16 @@ class AllocationError(RuntimeError):
 # up: deployment and inflight refactoring share this policy, so a degraded
 # replica's effective batch never depends on which path created its chain.
 DEGRADE_FLOOR = 8
+
+# Share-cap comparisons happen at the 10^12-byte scale, where running
+# +=/-= totals accumulate float error well past any fixed absolute
+# epsilon; comparisons therefore use an epsilon relative to the quantity
+# compared (floored at 1e-3 bytes for small scales).
+_SHARE_EPS = 1e-3
+
+
+def _share_eps(scale: float) -> float:
+    return max(_SHARE_EPS, 1e-9 * abs(scale))
 
 
 def degrade_until_fit(batch, attempt, *, floor: int = DEGRADE_FLOOR):
@@ -57,6 +81,42 @@ class StageReservation:
     released: bool = False
 
 
+@dataclass
+class PendingClaim:
+    """A not-yet-serving deploy's reservation set.
+
+    Registered by the replica factory while the deploy is still loading;
+    until it resolves (activation or teardown) the claim is *preemptible*:
+    a strictly more urgent class finding no feasible fragment may cancel
+    it through ``cancel`` (which drains the LOADING replica, releasing the
+    reservations through the normal teardown path — exactly once).
+    """
+
+    claim_id: int
+    model: str
+    priority: int
+    reservations: list[StageReservation]
+    cancel: Callable[[], None]
+    state: str = "pending"  # "pending" | "active" | "released" | "preempted"
+
+
+@dataclass(frozen=True)
+class PreemptionRecord:
+    """One preempt-or-wait decision, kept for the auditor.
+
+    The auditor asserts every preempted deploy's reservations were in fact
+    released (exactly once — a double release raises at the GPU books) and
+    that the victim never went on to serve.
+    """
+
+    victim_model: str
+    victim_priority: int
+    claimant_model: str
+    claimant_priority: int
+    claim: PendingClaim
+    reservations: tuple[StageReservation, ...] = field(default_factory=tuple)
+
+
 class GPUAllocator:
     """Cluster-wide allocator used by FlexPipe and all baselines."""
 
@@ -66,6 +126,172 @@ class GPUAllocator:
         self.live: dict[str, StageReservation] = {}
         self.failed_requests = 0
         self.granted_requests = 0
+        # --- QoS arbitration state (inert until enable_arbitration) ---
+        # model -> strict-priority rank (0 = most urgent); None = off.
+        self.qos_priority_of: Callable[[str], int] | None = None
+        # model -> max fraction of fleet memory it may hold.
+        self.share_caps: dict[str, float] = {}
+        # Live and high-water reserved bytes per tenant (every tenant,
+        # capped or not — the share rows of the QoS report read these).
+        self.tenant_reserved: dict[str, float] = {}
+        self.tenant_peak: dict[str, float] = {}
+        self._claim_counter = itertools.count()
+        self._pending_claims: dict[int, PendingClaim] = {}
+        self.preemptions: list[PreemptionRecord] = []
+        self.preempted_deploys = 0
+        self._fleet_memory: float | None = None
+
+    # ------------------------------------------------------------------
+    # QoS arbitration configuration
+    # ------------------------------------------------------------------
+    def enable_arbitration(
+        self,
+        priority_of: Callable[[str], int],
+        *,
+        share_caps: dict[str, float] | None = None,
+    ) -> None:
+        """Turn on class-aware resource arbitration.
+
+        ``priority_of`` maps a model (tenant) to its strict-priority rank;
+        ``share_caps`` maps tenants to the max fraction of fleet GPU
+        memory they may reserve.  Until this runs, every arbitration hook
+        is inert and allocation behaviour is byte-identical to the
+        historical allocator.
+        """
+        for model, cap in (share_caps or {}).items():
+            if not 0.0 < cap <= 1.0:
+                raise ValueError(
+                    f"share cap for {model!r} must be in (0, 1], got {cap}"
+                )
+        self.qos_priority_of = priority_of
+        self.share_caps = dict(share_caps or {})
+
+    @property
+    def arbitration_enabled(self) -> bool:
+        return self.qos_priority_of is not None
+
+    def fleet_memory(self) -> float:
+        """Total static GPU memory of the cluster (stable denominator)."""
+        if self._fleet_memory is None:
+            self._fleet_memory = sum(g.spec.memory for g in self.cluster.gpus)
+        return self._fleet_memory
+
+    def tenant_share(self, model: str) -> float:
+        """Live fraction of fleet memory this tenant holds."""
+        return self.tenant_reserved.get(model, 0.0) / self.fleet_memory()
+
+    def tenant_peak_share(self, model: str) -> float:
+        """High-water fraction of fleet memory this tenant ever held."""
+        return self.tenant_peak.get(model, 0.0) / self.fleet_memory()
+
+    def share_headroom(self, model: str) -> float:
+        """Bytes this tenant may still reserve under its cap (inf = uncapped)."""
+        cap = self.share_caps.get(model)
+        if cap is None:
+            return math.inf
+        return max(
+            cap * self.fleet_memory() - self.tenant_reserved.get(model, 0.0), 0.0
+        )
+
+    def _check_share(self, model: str, additional: float) -> None:
+        cap = self.share_caps.get(model)
+        if cap is None:
+            return
+        limit = cap * self.fleet_memory()
+        held = self.tenant_reserved.get(model, 0.0)
+        if held + additional > limit + _share_eps(limit):
+            raise AllocationError(
+                f"share cap: {model!r} holds {held / 2**30:.1f} GiB and "
+                f"requests {additional / 2**30:.1f} GiB, over its "
+                f"{cap:.0%} cap ({limit / 2**30:.1f} GiB) of fleet memory"
+            )
+
+    def _book_tenant(self, model: str, delta: float) -> None:
+        total = self.tenant_reserved.get(model, 0.0) + delta
+        # A fully-released tenant's total is pure float residue; the
+        # residue scales with the magnitudes summed, so the cleanup
+        # threshold keys off the tenant's high-water mark.
+        if total <= _share_eps(self.tenant_peak.get(model, 0.0)):
+            self.tenant_reserved.pop(model, None)
+            return
+        self.tenant_reserved[model] = total
+        if total > self.tenant_peak.get(model, 0.0):
+            self.tenant_peak[model] = total
+
+    # ------------------------------------------------------------------
+    # Pending-deploy claims (the preempt-or-wait surface)
+    # ------------------------------------------------------------------
+    def register_pending_deploy(
+        self,
+        model: str,
+        reservations: Sequence[StageReservation],
+        cancel: Callable[[], None],
+        *,
+        priority: int | None = None,
+    ) -> PendingClaim | None:
+        """Track a loading deploy as preemptible; no-op while arbitration
+        is off (returns ``None``).  The factory resolves the claim via
+        :meth:`claim_resolved` when the replica activates or tears down."""
+        if priority is None:
+            if self.qos_priority_of is None:
+                return None
+            priority = int(self.qos_priority_of(model))
+        claim = PendingClaim(
+            next(self._claim_counter), model, priority, list(reservations), cancel
+        )
+        self._pending_claims[claim.claim_id] = claim
+        return claim
+
+    def claim_resolved(
+        self, claim: PendingClaim | None, *, activated: bool
+    ) -> None:
+        """The deploy finished loading or was torn down: no longer
+        preemptible.  Resolving a preempted claim is a no-op (its state
+        stays ``preempted`` — the auditor relies on that)."""
+        if claim is None:
+            return
+        if self._pending_claims.pop(claim.claim_id, None) is not None:
+            claim.state = "active" if activated else "released"
+
+    def pending_claims(self) -> list[PendingClaim]:
+        return list(self._pending_claims.values())
+
+    def _preemptible_victims(self, priority: int) -> list[PendingClaim]:
+        """Pending claims a priority-``priority`` request may cancel:
+        strictly lower classes holding memory on a usable (non-cordoned)
+        GPU.  Whether cancelling them would actually unblock a placement
+        is :meth:`_feasible_with`'s call."""
+        victims = [
+            claim
+            for claim in self._pending_claims.values()
+            if claim.priority > priority
+            and any(
+                not res.released and not res.gpu.cordoned
+                for res in claim.reservations
+            )
+        ]
+        # Least-important first, most-recent first within a class: the
+        # youngest low-class deploy has sunk the least loading work.
+        victims.sort(key=lambda c: (-c.priority, -c.claim_id))
+        return victims
+
+    def _preempt(self, claim: PendingClaim, claimant: str, priority: int) -> None:
+        self._pending_claims.pop(claim.claim_id, None)
+        claim.state = "preempted"
+        self.preempted_deploys += 1
+        self.preemptions.append(
+            PreemptionRecord(
+                victim_model=claim.model,
+                victim_priority=claim.priority,
+                claimant_model=claimant,
+                claimant_priority=priority,
+                claim=claim,
+                reservations=tuple(claim.reservations),
+            )
+        )
+        # Cancelling drains the LOADING replica; its teardown releases the
+        # reservations through the normal (exactly-once) path.
+        claim.cancel()
 
     # ------------------------------------------------------------------
     def candidates(
@@ -107,10 +333,12 @@ class GPUAllocator:
                 f"{gpu.gid} lacks {nbytes / 2**30:.2f} GiB "
                 f"(free {gpu.free_memory / 2**30:.2f} GiB)"
             )
+        self._check_share(model, nbytes)
         res_id = f"res-{next(self._counter)}"
         gpu.reserve(res_id, nbytes, model=model)
         reservation = StageReservation(res_id, model, gpu, nbytes)
         self.live[res_id] = reservation
+        self._book_tenant(model, nbytes)
         return reservation
 
     def allocate_stages(
@@ -120,13 +348,43 @@ class GPUAllocator:
         *,
         scorer: Callable[[GPU], float] | None = None,
         exclude: Iterable[GPU] = (),
+        priority: int | None = None,
     ) -> list[StageReservation]:
         """Atomically reserve one GPU per stage (all succeed or none).
 
         ``scorer`` returns higher-is-better preference per GPU; ties and the
         no-scorer case fall back to most-free-memory-first, which steers
         placement away from fragmented devices.
+
+        ``priority`` is the requesting tenant's strict-priority rank; when
+        arbitration is on it defaults to the tenant's registered class.  A
+        prioritised request that finds no feasible placement preempts
+        strictly lower-priority *pending deploys* (never ACTIVE replicas)
+        one at a time, retrying after each, before giving up — the
+        preempt-or-wait rule.
         """
+        if priority is None and self.qos_priority_of is not None:
+            priority = int(self.qos_priority_of(model))
+        self._check_share(model, sum(mem_per_stage))
+        try:
+            reservations = self._place_stages(model, mem_per_stage, scorer, exclude)
+        except AllocationError:
+            if priority is None:
+                self.failed_requests += 1
+                raise
+            reservations = self._place_with_preemption(
+                model, mem_per_stage, scorer, exclude, priority
+            )
+        self.granted_requests += 1
+        return reservations
+
+    def _place_stages(
+        self,
+        model: str,
+        mem_per_stage: Sequence[float],
+        scorer: Callable[[GPU], float] | None,
+        exclude: Iterable[GPU],
+    ) -> list[StageReservation]:
         chosen: list[GPU] = []
         banned = {g.gid for g in exclude}
         for mem in mem_per_stage:
@@ -134,7 +392,6 @@ class GPUAllocator:
                 g for g in self.candidates(mem, model=model) if g.gid not in banned
             ]
             if not pool:
-                self.failed_requests += 1
                 raise AllocationError(
                     f"no GPU with {mem / 2**30:.1f} GiB free for model "
                     f"{model!r} (stage {len(chosen)})"
@@ -145,12 +402,87 @@ class GPUAllocator:
                 best = max(pool, key=lambda g: g.free_memory)
             chosen.append(best)
             banned.add(best.gid)  # one stage per GPU within this replica
-        reservations = [
+        return [
             self.reserve_on(model, gpu, mem)
             for gpu, mem in zip(chosen, mem_per_stage)
         ]
-        self.granted_requests += 1
-        return reservations
+
+    def _place_with_preemption(
+        self,
+        model: str,
+        mem_per_stage: Sequence[float],
+        scorer: Callable[[GPU], float] | None,
+        exclude: Iterable[GPU],
+        priority: int,
+    ) -> list[StageReservation]:
+        while True:
+            victims = self._preemptible_victims(priority)
+            # Dry-run before sacrificing anyone: preempt the smallest
+            # least-important prefix whose freed memory makes the *whole*
+            # multi-stage placement feasible.  If no prefix does, wait —
+            # cancelling a loading deploy that cannot unblock us would
+            # destroy its work for nothing.
+            chosen = next(
+                (
+                    victims[:k]
+                    for k in range(1, len(victims) + 1)
+                    if self._feasible_with(model, mem_per_stage, exclude, victims[:k])
+                ),
+                None,
+            )
+            if chosen is None:
+                self.failed_requests += 1
+                raise AllocationError(
+                    f"no feasible fragment for {model!r} (priority "
+                    f"{priority}) and no set of lower-priority pending "
+                    f"deploys would make one"
+                )
+            for claim in chosen:
+                self._preempt(claim, model, priority)
+            try:
+                return self._place_stages(model, mem_per_stage, scorer, exclude)
+            except AllocationError:
+                # A scorer can steer the real placement off the dry-run's
+                # path; remaining victims get another round.
+                continue
+
+    def _feasible_with(
+        self,
+        model: str,
+        mem_per_stage: Sequence[float],
+        exclude: Iterable[GPU],
+        freed: Sequence[PendingClaim],
+    ) -> bool:
+        """Would the placement succeed if ``freed`` claims were released?
+
+        Mirrors :meth:`_place_stages`' greedy most-free-first choice over
+        hypothetically adjusted free memory, without touching any state.
+        """
+        extra: dict[str, float] = {}
+        for claim in freed:
+            for res in claim.reservations:
+                if not res.released:
+                    extra[res.gpu.gid] = extra.get(res.gpu.gid, 0.0) + res.nbytes
+        banned = {g.gid for g in exclude}
+
+        def adjusted_free(gpu: GPU) -> float:
+            return gpu.free_memory + extra.get(gpu.gid, 0.0)
+
+        for mem in mem_per_stage:
+            pool = [
+                gpu
+                for gpu in self.cluster.gpus
+                if gpu.gid not in banned
+                and not gpu.cordoned
+                and not gpu.hosts_model(model)
+                and adjusted_free(gpu) >= mem
+            ]
+            if not pool:
+                return False
+            best = max(pool, key=adjusted_free)
+            extra[best.gid] = extra.get(best.gid, 0.0) - mem
+            banned.add(best.gid)
+        return True
 
     def release(self, reservation: StageReservation) -> None:
         """Return a reservation's memory to its GPU."""
@@ -159,12 +491,16 @@ class GPUAllocator:
         reservation.gpu.release(reservation.res_id, model=reservation.model)
         reservation.released = True
         self.live.pop(reservation.res_id, None)
+        self._book_tenant(reservation.model, -reservation.nbytes)
 
     def resize(self, reservation: StageReservation, nbytes: float) -> None:
         """Grow/shrink a live reservation (KV growth, post-refactor trim)."""
         if reservation.released:
             raise AllocationError(f"resize of released {reservation.res_id}")
-        reservation.gpu.resize(reservation.res_id, nbytes)
+        if nbytes > reservation.nbytes:
+            self._check_share(reservation.model, nbytes - reservation.nbytes)
+        reservation.gpu.resize(reservation.res_id, nbytes, model=reservation.model)
+        self._book_tenant(reservation.model, nbytes - reservation.nbytes)
         reservation.nbytes = nbytes
 
     # ------------------------------------------------------------------
@@ -180,11 +516,13 @@ class GPUAllocator:
         # One allocation snapshot per GPU (not per reservation): this
         # runs on every chaos-audit tick.
         snapshots: dict[str, dict[str, float]] = {}
+        tenant_live: dict[str, float] = {}
         for res_id, res in self.live.items():
             if res.released:
                 problems.append(
                     f"{res_id} is marked released but still tracked live"
                 )
+            tenant_live[res.model] = tenant_live.get(res.model, 0.0) + res.nbytes
             allocs = snapshots.get(res.gpu.gid)
             if allocs is None:
                 allocs = snapshots[res.gpu.gid] = res.gpu.stage_allocations
@@ -197,6 +535,17 @@ class GPUAllocator:
                 problems.append(
                     f"{res_id} bytes mismatch on {res.gpu.gid}: "
                     f"reservation {res.nbytes}, GPU {allocs[res_id]}"
+                )
+        # Per-tenant running totals must mirror the live reservation set
+        # exactly — the share-cap checks are only as sound as these books.
+        for model in set(tenant_live) | set(self.tenant_reserved):
+            recorded = self.tenant_reserved.get(model, 0.0)
+            actual = tenant_live.get(model, 0.0)
+            scale = max(actual, self.tenant_peak.get(model, 0.0))
+            if abs(recorded - actual) > _share_eps(scale):
+                problems.append(
+                    f"tenant {model} books {recorded:.0f} bytes but live "
+                    f"reservations sum to {actual:.0f}"
                 )
         return problems
 

@@ -24,7 +24,7 @@ production rollout in §9.6.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

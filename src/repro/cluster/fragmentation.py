@@ -9,7 +9,7 @@ controlled toward a target subscription level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU

@@ -12,7 +12,7 @@ A GPU tracks three kinds of occupancy:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.transfer.links import GB
 
@@ -50,6 +50,9 @@ class GPU:
         self._stage_mem: dict[str, float] = {}
         # Models with a stage resident here (anti-affinity rule, §6.2).
         self.model_tags: dict[str, int] = {}
+        # Serving bytes per resident model (share-cap observability: which
+        # tenant occupies how much of this device).
+        self.model_bytes: dict[str, float] = {}
         # Execution accounting.
         self.busy_seconds = 0.0
         self._busy_until = 0.0
@@ -96,21 +99,26 @@ class GPU:
         self._stage_mem[alloc_id] = nbytes
         if model is not None:
             self.model_tags[model] = self.model_tags.get(model, 0) + 1
+            self.model_bytes[model] = self.model_bytes.get(model, 0.0) + nbytes
 
     def release(self, alloc_id: str, model: str | None = None) -> None:
         """Release a previous reservation (idempotent on unknown ids is NOT
         allowed — unknown ids raise, catching double-release bugs)."""
         if alloc_id not in self._stage_mem:
             raise KeyError(f"unknown allocation id {alloc_id!r} on {self.gid}")
-        del self._stage_mem[alloc_id]
+        nbytes = self._stage_mem.pop(alloc_id)
         if model is not None:
             count = self.model_tags.get(model, 0) - 1
             if count <= 0:
                 self.model_tags.pop(model, None)
+                self.model_bytes.pop(model, None)
             else:
                 self.model_tags[model] = count
+                self.model_bytes[model] = max(
+                    self.model_bytes.get(model, 0.0) - nbytes, 0.0
+                )
 
-    def resize(self, alloc_id: str, nbytes: float) -> None:
+    def resize(self, alloc_id: str, nbytes: float, model: str | None = None) -> None:
         """Grow/shrink an existing reservation (KV-cache growth)."""
         if alloc_id not in self._stage_mem:
             raise KeyError(f"unknown allocation id {alloc_id!r} on {self.gid}")
@@ -118,6 +126,10 @@ class GPU:
         if nbytes - current > self.free_memory + 1e-6:
             raise ValueError(f"over-commit resizing {alloc_id!r} on {self.gid}")
         self._stage_mem[alloc_id] = nbytes
+        if model is not None and model in self.model_bytes:
+            self.model_bytes[model] = max(
+                self.model_bytes[model] + (nbytes - current), 0.0
+            )
 
     def hosts_model(self, model: str) -> bool:
         return model in self.model_tags

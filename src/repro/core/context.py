@@ -7,14 +7,14 @@ level keyed by (model, cost-config, stage set) and shared across runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.allocator import GPUAllocator
 from repro.cluster.cluster import Cluster
 from repro.cluster.hrg import HierarchicalResourceGraph
 from repro.models.costs import CostModel, CostModelConfig
 from repro.models.graph import ComputationGraph
-from repro.models.profiler import ModelProfile, Profiler
+from repro.models.profiler import ModelProfile
 from repro.models.transformer import build_transformer
 from repro.models.zoo import ModelSpec
 from repro.partitioning.ladder import GranularityLadder

@@ -12,7 +12,6 @@ import itertools
 from typing import Callable
 
 from repro.cluster.allocator import (
-    AllocationError,
     StageReservation,
     degrade_until_fit,
 )
@@ -63,6 +62,12 @@ class ReplicaFactory:
         self.batcher_max_wait = batcher_max_wait
         self.startup_overhead = startup_overhead
         self.warm_startup_factor = warm_startup_factor
+        # QoS hooks (set by ServingSystem.enable_qos; None = historical
+        # behaviour): class-priority batch formation inside new replicas,
+        # and pending-deploy claims registered with the allocator so a
+        # more urgent class can preempt a loading deploy.
+        self.batch_priority_of: Callable[[Request], int] | None = None
+        self.batch_aging: float | None = None
         self.deployed = 0
         self.released = 0
         # Every replica this factory ever created, in deployment order.
@@ -103,7 +108,6 @@ class ReplicaFactory:
             return self.ctx.allocator.allocate_stages(model, mems, scorer=scorer)
 
         batch, reservations = degrade_until_fit(batch, attempt)
-        router = self.routers[model]
         replica = PipelineReplica(
             sim,
             profile,
@@ -113,10 +117,21 @@ class ReplicaFactory:
                 max_batch=batch, max_wait=self.batcher_max_wait
             ),
             on_request_complete=self.on_request_complete,
-            on_active=router.add,
+            on_active=self._on_replica_active,
             on_released=self._teardown,
             interference=self.interference,
             name=f"{model}/r{next(_replica_ids)}",
+        )
+        if self.batch_priority_of is not None:
+            # Class-priority batch formation from the first request on.
+            replica.use_priority_batcher(
+                self.batch_priority_of, aging=self.batch_aging
+            )
+        # Until activation this deploy is a *pending* resource claim: a
+        # strictly more urgent class finding no feasible fragment may
+        # cancel it (drain releases the reservations exactly once).
+        replica.pending_claim = self.ctx.allocator.register_pending_deploy(
+            model, reservations, replica.drain
         )
         if self.coordinator is not None:
             self.coordinator.record_scaling(
@@ -126,6 +141,11 @@ class ReplicaFactory:
         self.deployed += 1
         self.replicas.append(replica)
         return replica
+
+    def _on_replica_active(self, replica: PipelineReplica) -> None:
+        """Loading finished: the deploy is no longer a preemptible claim."""
+        self.ctx.allocator.claim_resolved(replica.pending_claim, activated=True)
+        self.routers[replica.profile.spec.name].add(replica)
 
     def live_replicas(self) -> list[PipelineReplica]:
         """Replicas holding resources (anything not yet RELEASED)."""
@@ -218,6 +238,10 @@ class ReplicaFactory:
         """Release GPU reservations; keep parameters warm in host memory."""
         sim = self.ctx.sim
         model = replica.profile.spec.name
+        # A deploy cancelled before activating (reclamation, shutdown or
+        # preemption) stops being a pending claim here; preempted claims
+        # already resolved and keep their "preempted" state.
+        self.ctx.allocator.claim_resolved(replica.pending_claim, activated=False)
         self.routers[model].remove(replica)
         for stage in replica.stages:
             reservation = stage.reservation

@@ -16,8 +16,10 @@ Ablation flags disable individual mechanisms for the A1-A4 benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass
 
+from repro.cluster.allocator import DEGRADE_FLOOR
 from repro.core.config import FlexPipeConfig
 from repro.core.context import ServingContext
 from repro.core.deployment import ReplicaFactory
@@ -238,6 +240,11 @@ class FlexPipeSystem(ServingSystem):
             state.autoscaler.slo_pressure = (
                 lambda n=name, c=slo_class: self.qos_tracker.pressure(n, c)
             )
+            # Share-cap awareness: the autoscaler only asks for replicas
+            # the tenant's remaining headroom can host.
+            state.autoscaler.share_headroom = (
+                lambda n=name: self.ctx.allocator.share_headroom(n)
+            )
 
     def _qos_ordered_states(self) -> list[_ModelState]:
         """Control-loop visit order: most urgent tenant first under QoS."""
@@ -286,12 +293,31 @@ class FlexPipeSystem(ServingSystem):
                         state.current_stages = target
                         state.last_target_change = now
             # Converge replicas toward the target granularity, one per
-            # interval (staggered so serving capacity never dips).
+            # interval (staggered so serving capacity never dips).  A
+            # refactor transiently co-resides old and new chains, so a
+            # tenant without share-cap headroom for even the most degraded
+            # target chain skips the attempt instead of churning the
+            # allocator against its own cap every interval.
+            if not self._share_allows_refactor(state):
+                continue
             router = self.routers[state.spec.name]
             for replica in router.active_replicas:
                 if replica.plan.n_stages != state.current_stages:
                     if state.executor.refactor(replica, state.current_stages):
                         break
+
+    def _share_allows_refactor(self, state: _ModelState) -> bool:
+        """Whether the tenant's share cap could host a prepared chain."""
+        headroom = self.ctx.allocator.share_headroom(state.spec.name)
+        if math.isinf(headroom):
+            return True
+        plan = state.ladder.plan(state.current_stages)
+        start = max(min(plan.max_batch, self.batch_cap or plan.max_batch), 1)
+        floor = max(min(start, DEGRADE_FLOOR), 1)
+        need = sum(
+            plan.memory_per_stage(floor, state.spec.kv_bytes_per_request)
+        )
+        return headroom >= need
 
     # ------------------------------------------------------------------
     def on_gpu_reclaimed(self, gpu) -> None:

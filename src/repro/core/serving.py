@@ -13,6 +13,7 @@ import math
 from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector, RunSummary
 from repro.models.zoo import ModelSpec
+from repro.pipeline.replica import ReplicaState
 from repro.pipeline.router import ModelRouter
 from repro.qos.classes import DEFAULT_CLASS, SLO_CLASSES, SLOClass, request_priority
 from repro.qos.queueing import PriorityPendingQueue
@@ -88,19 +89,27 @@ class ServingSystem(abc.ABC):
         *,
         aging: float | None = 10.0,
         attainment_window: float = 30.0,
+        share_caps: dict[str, float] | None = None,
     ) -> None:
         """Turn on the per-tenant QoS control plane.
 
         ``classes`` maps model names to their SLO class (absent tenants
-        default to ``standard``).  The base layer installs the two
-        mechanism every system shares — priority-aware pending queues on
-        the routers (strict priority across classes, FIFO within, aging
-        for anti-starvation) and the per-tenant attainment tracker fed by
-        completions — and records the class map for admission and
-        observability.  Adaptive systems (FlexPipe) extend this to wire
-        the attainment signal into their scaling loops.
+        default to ``standard``).  The base layer installs the mechanisms
+        every system shares — priority-aware pending queues on the
+        routers (strict priority across classes, FIFO within, aging for
+        anti-starvation), class-priority batch formation inside every
+        replica, class-aware GPU arbitration at the allocator (priority
+        contention with preempt-or-wait of lower-class pending deploys,
+        plus per-tenant ``share_caps`` as max fractions of fleet GPU
+        memory), and the per-tenant attainment tracker fed by completions
+        — and records the class map for admission and observability.
+        Adaptive systems (FlexPipe) extend this to wire the attainment
+        signal into their scaling loops.
         """
         unknown = [m for m in classes if m not in self.routers]
+        if unknown:
+            raise KeyError(f"{self.name} does not serve model(s) {unknown}")
+        unknown = [m for m in (share_caps or {}) if m not in self.routers]
         if unknown:
             raise KeyError(f"{self.name} does not serve model(s) {unknown}")
         self.qos_classes = dict(classes)
@@ -120,6 +129,28 @@ class ServingSystem(abc.ABC):
                     aging=aging,
                 )
             )
+        # Resource-layer arbitration: deploys carry their tenant's class
+        # rank into the allocator — contending reservations resolve by
+        # strict priority, an infeasible urgent deploy preempts lower-
+        # class *pending* deploys (never ACTIVE replicas), and no tenant
+        # may hold more than its share cap of fleet GPU memory.
+        self.ctx.allocator.enable_arbitration(
+            lambda model: self.qos_class_of(model).priority,
+            share_caps=share_caps,
+        )
+        # Class-priority batch formation inside the replica, mirroring the
+        # router's priority queue: mixed-class traffic on one model meets
+        # FIFO nowhere between admission and the GPU.
+        def batch_priority(request: Request) -> int:
+            return request_priority(request, self.qos_class_of(request.model))
+
+        factory = getattr(self, "factory", None)
+        if factory is not None:
+            factory.batch_priority_of = batch_priority
+            factory.batch_aging = aging
+        for replica in self.all_replicas():
+            if replica.state is not ReplicaState.RELEASED:
+                replica.use_priority_batcher(batch_priority, aging=aging)
 
     def qos_class_of(self, model: str) -> SLOClass:
         """The tenant's SLO class (``standard`` when unannotated)."""

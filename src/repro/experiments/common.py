@@ -9,11 +9,11 @@ config observe byte-identical arrival processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.cluster.cluster import Cluster, make_paper_cluster, make_small_cluster
-from repro.cluster.fragmentation import FragmentationConfig, FragmentationModel
+from repro.cluster.fragmentation import FragmentationModel
 from repro.core.context import ServingContext
 from repro.core.serving import ServingSystem
 from repro.metrics.collector import RunSummary

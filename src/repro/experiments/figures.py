@@ -7,11 +7,9 @@ paper-vs-measured reporting.  EXPERIMENTS.md records the outcomes.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import numpy as np
 
-from repro.cluster.fragmentation import FragmentationModel
 from repro.core.context import ServingContext
 from repro.experiments.common import ExperimentConfig, build_environment
 from repro.experiments.runner import RunTask, make_runner
@@ -20,9 +18,8 @@ from repro.experiments.systems import (
     STATIC_FRACTION,
     SYSTEM_FACTORIES,
 )
-from repro.metrics.latency import percentiles
 from repro.models.costs import CostModel
-from repro.models.zoo import MODEL_ZOO, OPT_66B, get_model
+from repro.models.zoo import OPT_66B
 from repro.partitioning.batch_scaling import activation_bytes
 from repro.simulation.engine import Simulator
 from repro.simulation.randomness import RandomStreams

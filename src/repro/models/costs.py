@@ -21,7 +21,7 @@ We derive every constant from it:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.transfer.links import GB
 

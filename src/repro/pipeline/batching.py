@@ -6,6 +6,13 @@ capacity is reached; a batch dispatches when the entry stage is free.  The
 window is what amortises the per-iteration weight-streaming cost across
 requests — dispatching singletons eagerly would cap throughput at the
 batch-1 iteration rate.
+
+:class:`PriorityBatcher` is the QoS variant: the accumulation window and
+dispatch policy are identical, but each batch is *formed* in strict SLO
+class-priority order (FIFO within a class, optional aging for
+anti-starvation) — mirroring the router's
+:class:`~repro.qos.queueing.PriorityPendingQueue` so mixed-class traffic
+on one model meets FIFO nowhere between admission and the GPU.
 """
 
 from __future__ import annotations
@@ -36,6 +43,10 @@ class DynamicBatcher:
     ``can_dispatch`` tells the batcher whether the pipeline entry stage can
     accept a batch right now; ``dispatch`` consumes a list of requests.
     The owner must call :meth:`pump` whenever the entry stage frees up.
+
+    Queue storage is behind the ``_append`` / ``_pop_batch`` /
+    ``_oldest_time`` / ``entries`` hooks so :class:`PriorityBatcher` can
+    change *pop order* without touching the window/dispatch policy.
     """
 
     def __init__(
@@ -59,55 +70,71 @@ class DynamicBatcher:
         return len(self.queue)
 
     # ------------------------------------------------------------------
-    def enqueue(self, request: Request) -> None:
+    # Queue storage hooks (overridden by PriorityBatcher)
+    # ------------------------------------------------------------------
+    def _append(self, request: Request, enqueued_at: float) -> None:
         self.queue.append(request)
-        self._enqueued_at.append(self.sim.now)
-        if len(self.queue) >= self.config.max_batch and self.can_dispatch():
+        self._enqueued_at.append(enqueued_at)
+
+    def _pop_batch(self, n: int) -> list[Request]:
+        batch = [self.queue.popleft() for _ in range(n)]
+        for _ in range(n):
+            self._enqueued_at.popleft()
+        return batch
+
+    def _oldest_time(self) -> float | None:
+        return self._enqueued_at[0] if self._enqueued_at else None
+
+    def entries(self) -> list[tuple[Request, float]]:
+        """Queued (request, enqueue-time) pairs in arrival order (used when
+        migrating the queue into a different batcher implementation)."""
+        return list(zip(self.queue, self._enqueued_at))
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        self._append(request, self.sim.now)
+        if len(self) >= self.config.max_batch and self.can_dispatch():
             self._emit()
         elif self._timer is None:
             self._arm_timer()
 
     def pump(self) -> None:
         """Called when the entry stage frees up: dispatch ripe batches."""
-        if not self.queue or not self.can_dispatch():
+        if not len(self) or not self.can_dispatch():
             return
-        if len(self.queue) >= self.config.max_batch or self._oldest_ripe():
+        if len(self) >= self.config.max_batch or self._oldest_ripe():
             self._emit()
 
     def flush(self) -> list[Request]:
         """Drain without dispatching (used when a replica is torn down)."""
-        out = list(self.queue)
-        self.queue.clear()
-        self._enqueued_at.clear()
+        out = self._pop_batch(len(self))
         self._disarm_timer()
         return out
 
     # ------------------------------------------------------------------
     def _oldest_ripe(self) -> bool:
-        if not self._enqueued_at:
+        oldest = self._oldest_time()
+        if oldest is None:
             return False
-        return self.sim.now - self._enqueued_at[0] >= self.config.max_wait
+        return self.sim.now - oldest >= self.config.max_wait
 
     def _emit(self) -> None:
         self._disarm_timer()
-        n = min(len(self.queue), self.config.max_batch)
-        batch = [self.queue.popleft() for _ in range(n)]
-        for _ in range(n):
-            self._enqueued_at.popleft()
+        n = min(len(self), self.config.max_batch)
+        batch = self._pop_batch(n)
         self.batches_formed += 1
         self.requests_batched += n
         self.dispatch(batch)
-        if self.queue:
+        if len(self):
             self._arm_timer()
 
     def _arm_timer(self) -> None:
         self._disarm_timer()
         delay = self.config.max_wait
-        if self._enqueued_at:
+        oldest = self._oldest_time()
+        if oldest is not None:
             # Fire when the oldest queued request's window closes.
-            delay = max(
-                self.config.max_wait - (self.sim.now - self._enqueued_at[0]), 0.0
-            )
+            delay = max(self.config.max_wait - (self.sim.now - oldest), 0.0)
         self._timer = self.sim.schedule(delay, self._timeout)
 
     def _disarm_timer(self) -> None:
@@ -117,7 +144,7 @@ class DynamicBatcher:
 
     def _timeout(self) -> None:
         self._timer = None
-        if not self.queue:
+        if not len(self):
             return
         if self.can_dispatch():
             self._emit()
@@ -130,3 +157,84 @@ class DynamicBatcher:
         if self.batches_formed == 0:
             return 0.0
         return self.requests_batched / self.batches_formed
+
+
+class PriorityBatcher(DynamicBatcher):
+    """Class-priority batch formation inside a replica.
+
+    Same accumulation window and dispatch policy as
+    :class:`DynamicBatcher`, but each emitted batch pulls requests in
+    strict SLO-class priority order: lower rank first, FIFO within a
+    class, and an optional *aging* knob that improves a request's
+    effective rank by one per ``aging`` seconds waited so a batch backlog
+    cannot starve forever behind sustained interactive pressure.  With a
+    single class present pop order is exactly FIFO, so installing it on an
+    unclassed tenant changes nothing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: BatcherConfig,
+        can_dispatch: Callable[[], bool],
+        dispatch: Callable[[list[Request]], None],
+        *,
+        priority_of: Callable[[Request], int],
+        aging: float | None = None,
+    ):
+        super().__init__(sim, config, can_dispatch, dispatch)
+        if aging is not None and aging <= 0:
+            raise ValueError(f"aging must be positive (or None), got {aging}")
+        self.priority_of = priority_of
+        self.aging = aging
+        self._buckets: dict[int, deque[tuple[int, float, Request]]] = {}
+        self._seq = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    # ------------------------------------------------------------------
+    def _append(self, request: Request, enqueued_at: float) -> None:
+        priority = int(self.priority_of(request))
+        bucket = self._buckets.get(priority)
+        if bucket is None:
+            bucket = self._buckets[priority] = deque()
+        bucket.append((self._seq, enqueued_at, request))
+        self._seq += 1
+        self._len += 1
+
+    def _pop_one(self) -> Request:
+        now = self.sim.now
+        best_key: tuple[int, int] | None = None
+        best_priority = 0
+        for priority in sorted(self._buckets):
+            bucket = self._buckets[priority]
+            if not bucket:
+                continue
+            seq, enqueued, _ = bucket[0]
+            effective = priority
+            if self.aging is not None:
+                effective -= int((now - enqueued) / self.aging)
+            key = (effective, seq)
+            if best_key is None or key < best_key:
+                best_key, best_priority = key, priority
+        _, _, request = self._buckets[best_priority].popleft()
+        self._len -= 1
+        return request
+
+    def _pop_batch(self, n: int) -> list[Request]:
+        return [self._pop_one() for _ in range(n)]
+
+    def _oldest_time(self) -> float | None:
+        # Buckets are FIFO, so each head is its class's oldest entrant.
+        heads = [bucket[0][1] for bucket in self._buckets.values() if bucket]
+        return min(heads) if heads else None
+
+    def entries(self) -> list[tuple[Request, float]]:
+        rows = sorted(
+            (seq, enqueued, request)
+            for bucket in self._buckets.values()
+            for seq, enqueued, request in bucket
+        )
+        return [(request, enqueued) for _, enqueued, request in rows]

@@ -23,7 +23,7 @@ from repro.cluster.allocator import StageReservation
 from repro.models.profiler import ModelProfile
 from repro.partitioning.batch_scaling import activation_bytes
 from repro.partitioning.plan import PartitionPlan
-from repro.pipeline.batching import BatcherConfig, DynamicBatcher
+from repro.pipeline.batching import BatcherConfig, DynamicBatcher, PriorityBatcher
 from repro.pipeline.stage import BatchJob, StageRuntime
 from repro.simulation.engine import Simulator
 from repro.workloads.requests import Request
@@ -94,6 +94,9 @@ class PipelineReplica:
         )
         self.created_at = sim.now
         self.activated_at: float | None = None
+        # Set by the replica factory while this deploy is LOADING under
+        # QoS arbitration (a preemptible allocator claim); None otherwise.
+        self.pending_claim = None
         self.inflight_jobs = 0
         self.inflight_requests = 0
         self.accepted_requests = 0
@@ -208,6 +211,40 @@ class PipelineReplica:
             raise RuntimeError(f"submit() to {self.name} in state {self.state}")
         self.accepted_requests += 1
         self.batcher.enqueue(request)
+
+    def use_priority_batcher(
+        self,
+        priority_of: Callable[[Request], int],
+        *,
+        aging: float | None = None,
+    ) -> None:
+        """Swap the FIFO batcher for class-priority batch formation (QoS).
+
+        Queued requests migrate with their original enqueue times, so the
+        ``max_wait`` window and every conservation counter the auditor
+        reads (queue length, batches formed) are unchanged; only the order
+        future batches pull requests in differs.  Safe mid-run, idempotent
+        per replica.
+        """
+        old = self.batcher
+        if isinstance(old, PriorityBatcher):
+            return
+        new = PriorityBatcher(
+            self.sim,
+            old.config,
+            self._can_dispatch,
+            self._dispatch,
+            priority_of=priority_of,
+            aging=aging,
+        )
+        for request, enqueued_at in old.entries():
+            new._append(request, enqueued_at)
+        old._disarm_timer()
+        new.batches_formed = old.batches_formed
+        new.requests_batched = old.requests_batched
+        self.batcher = new
+        if len(new):
+            new._arm_timer()
 
     def _can_dispatch(self) -> bool:
         return self.stages[0].idle

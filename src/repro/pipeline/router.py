@@ -10,7 +10,6 @@ switchover costs milliseconds, not seconds.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
 
 from repro.pipeline.replica import PipelineReplica
 from repro.simulation.engine import Simulator

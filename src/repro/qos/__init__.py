@@ -1,11 +1,15 @@
 """Multi-tenant QoS control plane: SLO classes, priority scheduling,
-class-aware admission, and attainment signals.
+class-aware admission, attainment signals, and resource arbitration.
 
-Four layers consume this package: admission (per-tenant policy chains in
+Five layers consume this package: admission (per-tenant policy chains in
 :mod:`repro.qos.admission`), routing (the priority pending queue in
 :mod:`repro.qos.queueing`), scaling (the attainment pressure signal in
-:mod:`repro.qos.signals`), and observability (per-tenant attainment/shed
-rows in the scenario reports and the ``repro qos`` CLI).
+:mod:`repro.qos.signals`), resources (class ranks drive the allocator's
+priority contention/preempt-or-wait and per-tenant share caps in
+:mod:`repro.cluster.allocator`, and class-priority batch formation via
+:class:`repro.pipeline.batching.PriorityBatcher`), and observability
+(per-tenant attainment/shed/GPU-share rows in the scenario reports and
+the ``repro qos`` CLI).
 
 Admission exports resolve lazily: :mod:`repro.core.admission` imports
 :mod:`repro.qos.classes` for per-request deadlines, so eagerly importing

@@ -21,8 +21,7 @@ invariant is asserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.cluster.allocator import (
     AllocationError,

@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.cluster.allocator import AllocationError
+from repro.cluster.allocator import DEGRADE_FLOOR, AllocationError
 from repro.metrics.collector import MetricsCollector, ScalingEvent
 from repro.models.profiler import ModelProfile
 from repro.partitioning.plan import PartitionPlan
@@ -77,6 +77,12 @@ class Autoscaler:
         # drops, so a violated interactive tenant scales out before a
         # happy batch tenant.  None (the default) changes nothing.
         self.slo_pressure: Callable[[], float] | None = None
+        # Optional QoS hook: bytes this tenant may still reserve under its
+        # share cap (math.inf = uncapped).  When set, scale-out desire is
+        # clamped to what the cap can host, so the autoscaler never churns
+        # the allocator with deploys the cap is guaranteed to refuse.
+        # None (the default) changes nothing.
+        self.share_headroom: Callable[[], float] | None = None
         self._blocked_since: float | None = None
         self._low_since: float | None = None
         self._last_scale_out = -math.inf
@@ -166,12 +172,40 @@ class Autoscaler:
         desired = min(max(desired, cfg.min_replicas), cfg.max_replicas)
 
         total = len(active) + len(self.loading)
+        if self.share_headroom is not None and desired > total:
+            # Respect the tenant's share cap: only ask for replicas the
+            # remaining headroom can actually host.  The clamp never
+            # *lowers* desired below the current fleet — the cap blocks
+            # growth, it does not force scale-in.
+            fit = self._replicas_within_headroom(plan)
+            desired = min(desired, max(total + fit, total))
         if desired > total:
             self._scale_out(desired - total, plan, now)
         elif desired < len(active) and queue == 0:
             self._maybe_scale_in(active, desired, now)
         else:
             self._low_since = None
+
+    def _replicas_within_headroom(self, plan: PartitionPlan) -> int:
+        """How many more replicas of ``plan`` fit under the share cap.
+
+        Sized at the memory-degradation *floor* batch — the smallest
+        footprint ``ReplicaFactory.deploy`` would actually accept — so the
+        clamp never blocks a scale-out the degrade path could still place
+        (it only prunes deploys the cap is guaranteed to refuse).
+        """
+        headroom = self.share_headroom()
+        if math.isinf(headroom):
+            return self.config.max_replicas
+        cfg = self.config
+        batch = max(min(plan.max_batch, cfg.batch_cap or plan.max_batch), 1)
+        floor = max(min(batch, DEGRADE_FLOOR), 1)
+        replica_bytes = sum(
+            plan.memory_per_stage(floor, self.profile.spec.kv_bytes_per_request)
+        )
+        if replica_bytes <= 0:
+            return self.config.max_replicas
+        return int(headroom // replica_bytes)
 
     # ------------------------------------------------------------------
     def _scale_out(self, n: int, plan: PartitionPlan, now: float) -> None:

@@ -69,6 +69,10 @@ class TenantQoS:
     included), so ``attainment`` — goodput over offered — charges sheds
     as SLO misses: a control plane cannot improve its attainment by
     shedding feasible work.
+
+    ``gpu_share_peak`` is the tenant's high-water fraction of fleet GPU
+    memory over the run; ``share_cap`` its configured limit (``None`` =
+    uncapped) — together the per-tenant GPU-share row of ``repro qos``.
     """
 
     model: str
@@ -78,6 +82,8 @@ class TenantQoS:
     shed: int
     completed: int
     goodput: int
+    gpu_share_peak: float = 0.0
+    share_cap: float | None = None
 
     @property
     def attainment(self) -> float:
@@ -255,7 +261,12 @@ class ScenarioDriver:
                 m.model: get_slo_class(m.slo_class or DEFAULT_CLASS)
                 for m in spec.models
             }
-            system.enable_qos(class_map)
+            share_caps = {
+                m.model: m.share_cap
+                for m in spec.models
+                if m.share_cap is not None
+            }
+            system.enable_qos(class_map, share_caps=share_caps or None)
             self.gate = build_tenant_controller(
                 system, class_map, cap=int(spec.admission_cap)
             )
@@ -434,6 +445,7 @@ class ScenarioDriver:
         shed = sum(
             1 for g in generators for r in g.requests if r.rejected
         )
+        allocator = self.system.ctx.allocator
         return TenantQoS(
             model=script.model,
             slo_class=script.slo_class,
@@ -442,6 +454,8 @@ class ScenarioDriver:
             shed=shed,
             completed=summary.completed,
             goodput=summary.goodput,
+            gpu_share_peak=allocator.tenant_peak_share(script.model),
+            share_cap=script.share_cap,
         )
 
     def _model_summary(

@@ -276,6 +276,49 @@ PRIORITY_INVERSION = ScenarioSpec(
     admission_cap=64,
 )
 
+GPU_CONTENTION = ScenarioSpec(
+    name="gpu-contention",
+    description=(
+        "An interactive and a batch tenant race for the scarce fragments "
+        "a reclamation cycle hands back: the batch tenant's backlog keeps "
+        "its autoscaler hungry, so without class-aware GPU arbitration "
+        "its deploys win the freed GPUs and the interactive burst queues "
+        "behind cold starts (run `repro qos --scenario gpu-contention` "
+        "for the on/off comparison; the batch tenant also carries a "
+        "fleet-share cap)."
+    ),
+    cluster="small",
+    initial_replicas=1,
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            slo_class="interactive",
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=4.0, cv=2.0),
+                ArrivalSegment(  # the burst that needs the freed fragment
+                    "burst", start=14.0, duration=34.0, qps=9.0, cv=6.0
+                ),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            slo_class="batch",
+            share_cap=0.5,
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=10.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=10.0, action="reclaim"),
+        ScenarioEvent(at=16.0, action="reclaim", count=2),
+        ScenarioEvent(at=26.0, action="reclaim"),
+        ScenarioEvent(at=36.0, action="reclaim", count=2),
+    ),
+    downtime_mean=7.0,
+    admission_cap=96,
+)
+
 AZURE_REPLAY = ScenarioSpec(
     name="azure-replay",
     description=(
@@ -318,6 +361,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         TRACE_REPLAY,
         DIURNAL_DRIFT,
         PRIORITY_INVERSION,
+        GPU_CONTENTION,
         AZURE_REPLAY,
     )
 }

@@ -22,7 +22,7 @@ simulator is :mod:`repro.scenarios.driver`'s job.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.models.zoo import MODEL_ZOO
 from repro.qos.classes import SLO_CLASSES
@@ -131,6 +131,10 @@ class ModelScript:
     historical unclassed behaviour where ``slo_latency`` alone defines
     the goodput deadline.  A classed tenant's requests carry the class
     and are judged against *its* latency target.
+
+    ``share_cap`` caps the tenant's GPU footprint at a fraction of total
+    fleet memory (enforced by the allocator while the QoS control plane
+    runs); ``None`` leaves the tenant uncapped.
     """
 
     model: str
@@ -139,6 +143,7 @@ class ModelScript:
     output_median: int = 8
     slo_latency: float = 10.0
     slo_class: str | None = None
+    share_cap: float | None = None
 
     def __post_init__(self) -> None:
         if self.model not in MODEL_ZOO:
@@ -151,6 +156,10 @@ class ModelScript:
             raise ValueError(
                 f"{self.model}: unknown SLO class {self.slo_class!r}; "
                 f"available: {sorted(SLO_CLASSES)}"
+            )
+        if self.share_cap is not None and not 0.0 < self.share_cap <= 1.0:
+            raise ValueError(
+                f"{self.model}: share_cap must be in (0, 1], got {self.share_cap}"
             )
 
     @property
@@ -278,6 +287,7 @@ class ScenarioSpec:
             return False
         return any(
             m.slo_class is not None
+            or m.share_cap is not None
             or any(s.slo_class is not None for s in m.segments)
             for m in self.models
         )

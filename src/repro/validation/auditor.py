@@ -34,6 +34,14 @@ reduces to):
     aggregate) — and sheds are *exactly once*: the number of requests
     marked rejected equals the gates' shed count, and no shed request
     ever completes.
+``share-cap``
+    A tenant with a configured GPU share cap never reserves — not even
+    transiently (the high-water mark is checked too) — more than its
+    fraction of fleet GPU memory.
+``preemption-accounting``
+    Every preempted pending deploy stays preempted (it never serves) and
+    released all of its reservations exactly once; at quiesce no pending
+    claim is still registered with the allocator.
 ``allocator-empty``
     After shutdown + quiesce the allocator holds no live reservation and
     no GPU carries a stage allocation (no leaked reservations).
@@ -122,6 +130,7 @@ class InvariantAuditor:
         out: list[Violation] = []
         out += self._check_memory_accounting()
         out += self._check_anomalies()
+        out += self._check_share_caps()
         return out
 
     def audit_quiesce(self, *, expect_empty_allocator: bool = True) -> list[Violation]:
@@ -139,6 +148,9 @@ class InvariantAuditor:
         out += self._check_router_hygiene()
         out += self._check_request_conservation()
         out += self._check_admission_accounting()
+        out += self._check_preemption_accounting(
+            expect_no_pending=expect_empty_allocator
+        )
         if expect_empty_allocator:
             out += self._check_allocator_empty()
         return out
@@ -414,6 +426,77 @@ class InvariantAuditor:
                         f"shed request(s) completed anyway: "
                         f"{completed_shed[:8]}"
                         f"{'...' if len(completed_shed) > 8 else ''}",
+                    )
+                )
+        return out
+
+    def _check_share_caps(self) -> list[Violation]:
+        """No capped tenant ever exceeded its fleet-memory share."""
+        allocator = self._allocator
+        caps = getattr(allocator, "share_caps", None)
+        if not caps:
+            return []
+        out: list[Violation] = []
+        fleet = allocator.fleet_memory()
+        for model, cap in caps.items():
+            # Relative epsilon: running tenant totals drift a few float
+            # ulps per operation at the 10^12-byte scale.
+            limit = cap * fleet
+            limit += max(_CAPACITY_EPS, 1e-9 * limit)
+            live = allocator.tenant_reserved.get(model, 0.0)
+            peak = allocator.tenant_peak.get(model, 0.0)
+            if live > limit:
+                out.append(
+                    Violation(
+                        "share-cap",
+                        f"{model} holds {live:.0f} bytes, over its "
+                        f"{cap:.0%} cap of {fleet:.0f}-byte fleet",
+                    )
+                )
+            elif peak > limit:
+                out.append(
+                    Violation(
+                        "share-cap",
+                        f"{model} peaked at {peak:.0f} bytes, over its "
+                        f"{cap:.0%} cap of {fleet:.0f}-byte fleet",
+                    )
+                )
+        return out
+
+    def _check_preemption_accounting(
+        self, *, expect_no_pending: bool = True
+    ) -> list[Violation]:
+        """Preempted deploys never serve and release exactly once."""
+        allocator = self._allocator
+        out: list[Violation] = []
+        for record in getattr(allocator, "preemptions", ()):
+            if record.claim.state != "preempted":
+                out.append(
+                    Violation(
+                        "preemption-accounting",
+                        f"preempted deploy of {record.victim_model} "
+                        f"resolved to {record.claim.state!r} (must stay "
+                        f"preempted — a preempted deploy never serves)",
+                    )
+                )
+            leaked = [r.res_id for r in record.reservations if not r.released]
+            if leaked:
+                out.append(
+                    Violation(
+                        "preemption-accounting",
+                        f"preempted deploy of {record.victim_model} (for "
+                        f"{record.claimant_model}) still holds {leaked}",
+                    )
+                )
+        if expect_no_pending:
+            stale = getattr(allocator, "pending_claims", lambda: [])()
+            if stale:
+                out.append(
+                    Violation(
+                        "preemption-accounting",
+                        f"{len(stale)} pending deploy claim(s) never "
+                        f"resolved: "
+                        f"{[c.model for c in stale][:8]}",
                     )
                 )
         return out

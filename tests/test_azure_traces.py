@@ -10,7 +10,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads.azure import (
-    AZURE_BIN_SECONDS,
     AzureSynthConfig,
     FunctionTrace,
     TraceBundle,

@@ -7,7 +7,7 @@ import pytest
 from types import SimpleNamespace
 
 from repro.core.config import FlexPipeConfig
-from repro.core.context import ServingContext, get_graph, get_ladder, get_profile
+from repro.core.context import get_graph
 from repro.core.deployment import ReplicaFactory
 from repro.core.flexpipe import FlexPipeSystem
 from repro.core.serving import ServingSystem

@@ -6,14 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.transfer.datamover import DataMover, TransferMethod
+from repro.transfer.datamover import TransferMethod
 from repro.transfer.links import GB
 from repro.transfer.migration import (
     Endpoint,
     ItemKind,
     MigrationItem,
     MigrationPlanner,
-    MigrationSchedule,
     refactor_items,
 )
 

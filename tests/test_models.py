@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.models.costs import CostModel, CostModelConfig, floor_pow2
+from repro.models.costs import CostModelConfig, floor_pow2
 from repro.models.operators import OpKind
 from repro.models.transformer import build_transformer
 from repro.models.zoo import BERT_21B, LLAMA2_7B, MODEL_ZOO, OPT_66B, WHISPER_9B, get_model

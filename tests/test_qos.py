@@ -3,11 +3,10 @@ signals, and the end-to-end priority-inversion property."""
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 
-from repro.core.admission import GateStats, SLOFeasiblePolicy
+from repro.core.admission import SLOFeasiblePolicy
 from repro.qos import (
     SLO_CLASSES,
     AttainmentTracker,
@@ -405,3 +404,60 @@ class TestEnableQoS:
         request.completion_time = request.arrival_time + 1.0
         system._on_request_complete(request)
         assert system.qos_tracker.attainment("LLAMA2-7B") == 1.0
+
+    def test_enable_arms_the_resource_arbiter(self, system):
+        """enable_qos reaches the allocator: class ranks for deploy
+        contention plus the per-tenant share caps."""
+        allocator = system.ctx.allocator
+        assert not allocator.arbitration_enabled
+        system.enable_qos(
+            {"LLAMA2-7B": SLO_CLASSES["interactive"]},
+            share_caps={"BERT-21B": 0.4},
+        )
+        assert allocator.arbitration_enabled
+        assert allocator.qos_priority_of("LLAMA2-7B") == 0
+        assert allocator.qos_priority_of("BERT-21B") == 1  # standard default
+        assert allocator.share_caps == {"BERT-21B": 0.4}
+
+    def test_share_cap_for_unknown_model_rejected(self, system):
+        with pytest.raises(KeyError, match="does not serve"):
+            system.enable_qos(
+                {"LLAMA2-7B": SLO_CLASSES["interactive"]},
+                share_caps={"GPT-5": 0.5},
+            )
+
+    def test_enable_installs_priority_batchers(self, system):
+        """Existing replicas swap to class-priority batch formation; the
+        factory mints future replicas with it directly."""
+        from repro.pipeline.batching import PriorityBatcher
+
+        system.start()
+        system.sim.run(until=120.0)  # initial loads complete
+        replicas = system.all_replicas()
+        assert replicas
+        assert all(
+            not isinstance(r.batcher, PriorityBatcher) for r in replicas
+        )
+        system.enable_qos({"LLAMA2-7B": SLO_CLASSES["interactive"]})
+        assert all(isinstance(r.batcher, PriorityBatcher) for r in replicas)
+        assert system.factory.batch_priority_of is not None
+        # A classed request of the interactive tenant outranks the other
+        # tenant's standard default inside the same replica.
+        priority_of = system.factory.batch_priority_of
+        assert priority_of(
+            make_request(0, model="LLAMA2-7B", slo_class="interactive")
+        ) < priority_of(make_request(1, model="BERT-21B"))
+
+    def test_enable_wires_autoscaler_share_headroom(self, system):
+        import math
+
+        system.enable_qos(
+            {"LLAMA2-7B": SLO_CLASSES["interactive"]},
+            share_caps={"LLAMA2-7B": 0.25},
+        )
+        capped = system._models["LLAMA2-7B"].autoscaler
+        uncapped = system._models["BERT-21B"].autoscaler
+        assert capped.share_headroom is not None
+        fleet = system.ctx.allocator.fleet_memory()
+        assert capped.share_headroom() <= 0.25 * fleet
+        assert math.isinf(uncapped.share_headroom())

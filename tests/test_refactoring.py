@@ -4,10 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.allocator import GPUAllocator
-from repro.core.context import ServingContext
 from repro.metrics.collector import MetricsCollector
-from repro.models.zoo import LLAMA2_7B
 from repro.partitioning.ladder import GranularityLadder
 from repro.pipeline.batching import BatcherConfig
 from repro.pipeline.replica import PipelineReplica, ReplicaState

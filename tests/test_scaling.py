@@ -291,3 +291,100 @@ class TestAutoscalerEffectiveCapacity:
             outcomes[label] = len(deployed)
         assert outcomes["healthy"] == 0
         assert outcomes["degraded"] >= 1
+
+
+class TestAutoscalerShareCap:
+    """Scale-out desire is clamped to the tenant's share-cap headroom, so
+    a capped tenant never churns the allocator with deploys the cap is
+    guaranteed to refuse (QoS resource arbitration)."""
+
+    def _make_scaler(self, ctx, llama_profile, min_replicas=4):
+        from types import SimpleNamespace
+
+        from repro.metrics.collector import MetricsCollector
+        from repro.pipeline.replica import ReplicaState
+        from repro.pipeline.router import ModelRouter
+        from repro.refactoring.monitor import WorkloadMonitor
+        from repro.scaling.autoscaler import Autoscaler, AutoscalerConfig
+
+        ladder = GranularityLadder(llama_profile, stage_counts=(2, 4))
+        plan = ladder.plan(2)
+        deployed = []
+
+        def deploy(profile, p, *, wait_time=0.0):
+            deployed.append(p)
+            return SimpleNamespace(state=ReplicaState.LOADING)
+
+        scaler = Autoscaler(
+            ctx.sim,
+            ModelRouter(ctx.sim, "LLAMA2-7B"),
+            WorkloadMonitor(),
+            llama_profile,
+            MetricsCollector("test"),
+            deploy,
+            lambda r: None,
+            lambda cv, queue: plan,
+            AutoscalerConfig(min_replicas=min_replicas, max_replicas=16),
+        )
+        return scaler, plan, deployed
+
+    def _replica_bytes(self, scaler, plan):
+        # The clamp sizes replicas at the degradation floor batch — the
+        # smallest deploy the factory would actually accept.
+        from repro.cluster.allocator import DEGRADE_FLOOR
+
+        batch = max(min(plan.max_batch, DEGRADE_FLOOR), 1)
+        return sum(
+            plan.memory_per_stage(
+                batch, scaler.profile.spec.kv_bytes_per_request
+            )
+        )
+
+    def test_scale_out_clamped_to_headroom(self, ctx, llama_profile):
+        scaler, plan, deployed = self._make_scaler(ctx, llama_profile)
+        scaler.share_headroom = (
+            lambda: 2.5 * self._replica_bytes(scaler, plan)
+        )
+        scaler.tick()  # wants min_replicas=4, headroom hosts only 2
+        assert len(deployed) == 2
+
+    def test_uncapped_hook_changes_nothing(self, ctx, llama_profile):
+        import math
+
+        scaler, _, deployed = self._make_scaler(ctx, llama_profile)
+        scaler.share_headroom = lambda: math.inf
+        scaler.tick()
+        assert len(deployed) == 4
+
+    def test_default_behaviour_without_hook(self, ctx, llama_profile):
+        scaler, _, deployed = self._make_scaler(ctx, llama_profile)
+        scaler.tick()
+        assert len(deployed) == 4
+
+    def test_zero_headroom_never_forces_scale_in(self, ctx, llama_profile):
+        """The cap blocks growth; it must not manufacture scale-in."""
+        from repro.pipeline.replica import ReplicaState
+
+        scaler, plan, deployed = self._make_scaler(ctx, llama_profile, min_replicas=1)
+        from types import SimpleNamespace
+
+        active = [
+            SimpleNamespace(
+                state=ReplicaState.ACTIVE,
+                accepting=True,
+                plan=plan,
+                max_batch=plan.max_batch,
+                queue_length=0,
+                activated_at=0.0,
+            )
+            for _ in range(2)
+        ]
+        scaler.router.replicas.extend(active)
+        scaler.share_headroom = lambda: 0.0
+        released = []
+        scaler.release_replica = released.append
+        scaler.tick()
+        assert deployed == []
+        # desired fell to min_replicas, but scale-in still follows the
+        # idle-window policy (first low tick never reclaims).
+        assert released == []

@@ -437,6 +437,58 @@ class TestQoSScenarios:
         )
 
 
+class TestGpuContentionScenario:
+    """The class-aware *resource* arbitration acceptance scenario: two
+    classes race for the fragments a reclamation cycle hands back."""
+
+    def test_share_cap_round_trips_and_validates(self):
+        spec = get_scenario("gpu-contention")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.qos_enabled
+        caps = {m.model: m.share_cap for m in spec.models}
+        assert caps["BERT-21B"] is not None
+        with pytest.raises(ValueError, match="share_cap"):
+            ModelScript("LLAMA2-7B", share_cap=1.5)
+        # A share cap alone (no class annotation) arms qos auto mode.
+        capped = ScenarioSpec(
+            name="capped",
+            models=(ModelScript("LLAMA2-7B", share_cap=0.5),),
+        )
+        assert capped.qos_enabled
+
+    @pytest.fixture(scope="class")
+    def contention_reports(self):
+        spec = get_scenario("gpu-contention")
+        return {
+            mode: run_scenario_case(
+                ScenarioCase(replace(spec, qos=mode), "FlexPipe", seed=0)
+            )
+            for mode in ("on", "off")
+        }
+
+    def test_both_policies_hold_every_invariant(self, contention_reports):
+        for mode, report in contention_reports.items():
+            assert report.ok, (mode, [str(v) for v in report.violations])
+
+    def test_interactive_tenant_wins_the_fragment_race(
+        self, contention_reports
+    ):
+        """The acceptance property: with GPU arbitration the interactive
+        tenant attains strictly more over identical traffic."""
+        on = contention_reports["on"].tenants["LLAMA2-7B"]
+        off = contention_reports["off"].tenants["LLAMA2-7B"]
+        assert on.offered == off.offered
+        assert on.attainment > off.attainment
+
+    def test_batch_tenant_stays_under_its_cap(self, contention_reports):
+        tenant = contention_reports["on"].tenants["BERT-21B"]
+        assert tenant.share_cap is not None
+        assert 0.0 < tenant.gpu_share_peak <= tenant.share_cap
+        # The null policy carries the rows too (cap unenforced there).
+        null = contention_reports["off"].tenants["BERT-21B"]
+        assert null.gpu_share_peak > 0.0
+
+
 class TestAzureReplayScenario:
     def test_azure_segment_validation(self):
         with pytest.raises(ValueError, match="trace_file"):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulation.engine import Event, SimulationError, Simulator
+from repro.simulation.engine import SimulationError
 from repro.simulation.processes import PeriodicProcess
 from repro.simulation.randomness import RandomStreams
 
