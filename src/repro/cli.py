@@ -365,6 +365,7 @@ def _run_scenario(args) -> int:
         seed=args.seed,
         quick=args.quick,
         runner=_runner_from(args),
+        shards=args.shards,
     )
     rows = []
     for report in reports:
@@ -372,6 +373,13 @@ def _run_scenario(args) -> int:
             {
                 "scenario": report.scenario,
                 "system": report.system,
+                "shards": (
+                    f"{report.shards}*"
+                    if report.shard_fallback
+                    else str(report.shards)
+                )
+                if args.shards
+                else "-",
                 "violations": len(report.violations),
                 "offered": report.offered,
                 "completed": report.completed,
@@ -733,6 +741,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-model",
         action="store_true",
         help="also print the per-model breakdown table",
+    )
+    scenario_run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run each case through the shard partitioner with N worker "
+        "processes (0 = classic monolithic driver).  N only sets "
+        "parallelism: the shard decomposition is a pure function of the "
+        "scenario, so results are identical for every N >= 1; scenarios "
+        "that cannot partition (fleet-global QoS, single tenant, tiny "
+        "cluster) fall back to one shard, marked '*' in the table",
     )
     qos = sub.add_parser(
         "qos",

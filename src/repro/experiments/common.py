@@ -78,10 +78,19 @@ class ExperimentConfig:
 
 def build_environment(
     cfg: ExperimentConfig,
+    *,
+    server_indices=None,
 ) -> tuple[Simulator, Cluster, RandomStreams, FragmentationModel | None]:
+    """Build one run's world.  ``server_indices`` (sharded execution)
+    restricts the cluster to that subset of the named topology's servers —
+    same names, racks and RDMA striping as the full build."""
     sim = Simulator()
     streams = RandomStreams(cfg.seed)
-    if cfg.cluster == "paper":
+    if server_indices is not None:
+        from repro.cluster.cluster import make_cluster_subset
+
+        cluster = make_cluster_subset(sim, cfg.cluster, server_indices)
+    elif cfg.cluster == "paper":
         cluster = make_paper_cluster(sim)
     elif cfg.cluster == "small":
         cluster = make_small_cluster(sim)

@@ -16,6 +16,8 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
+from functools import partial
+from typing import Callable
 
 from repro.cluster.allocator import AllocationError
 from repro.cluster.failures import (
@@ -54,11 +56,19 @@ MAX_EVENTS = 30_000_000
 
 @dataclass(frozen=True)
 class ScenarioCase:
-    """One scenario run: a spec bound to a system and a seed."""
+    """One scenario run: a spec bound to a system and a seed.
+
+    ``shards``: 0 runs the classic monolithic driver; >= 1 routes the case
+    through the shard partitioner (``repro scenario run --shards N``).
+    The value is the *worker-process* count only — the decomposition into
+    shard groups is a pure function of the spec, so results are identical
+    for every ``shards >= 1`` (and the cache key records just the mode).
+    """
 
     spec: ScenarioSpec
     system: str = "FlexPipe"
     seed: int = 0
+    shards: int = 0
 
 
 @dataclass
@@ -111,6 +121,10 @@ class ScenarioReport:
     horizon: float = 0.0
     qos_enabled: bool = False
     tenants: dict[str, TenantQoS] = field(default_factory=dict)
+    # --- sharded execution (0/""/0 on the classic monolithic path) ---
+    shards: int = 0  # shard *groups* the run decomposed into
+    shard_fallback: str = ""  # why a --shards run fell back to one shard
+    engine_events: int = 0  # total simulator events across all shards
 
     @property
     def ok(self) -> bool:
@@ -194,9 +208,18 @@ def _make_azure_arrivals(segment: ArrivalSegment, rng, trace_rng):
 
 
 class ScenarioDriver:
-    """Runs one compiled scenario end-to-end."""
+    """Runs one compiled scenario end-to-end.
 
-    def __init__(self, case: ScenarioCase):
+    The run is phased — :meth:`start` builds the world, :meth:`advance`
+    simulates up to a time, :meth:`finish` quiesces and reports — so a
+    shard coordinator can window-step many drivers in lock-step.
+    :meth:`run` chains the three for the classic monolithic path.
+
+    ``server_indices`` (shard execution) restricts the driver to the
+    sub-cluster owning those servers of the spec's named topology.
+    """
+
+    def __init__(self, case: ScenarioCase, *, server_indices=None):
         if case.system not in CHAOS_SYSTEMS:
             raise KeyError(
                 f"unknown system {case.system!r}; "
@@ -209,9 +232,21 @@ class ScenarioDriver:
         }
         self.event_counts: dict[str, int] = {}
         self.violations: dict[tuple[str, str], Violation] = {}
+        self._server_indices = (
+            tuple(server_indices) if server_indices is not None else None
+        )
+        self._started = False
 
     # ------------------------------------------------------------------
     def run(self) -> ScenarioReport:
+        self.start()
+        self.advance(self.horizon)
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Phase 1: build the world (no simulated time passes here)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
         spec, case = self.spec, self.case
         primary = spec.models[0]
         cfg = ExperimentConfig(
@@ -230,10 +265,13 @@ class ScenarioDriver:
             extra_models=tuple(m.model for m in spec.models[1:]),
         )
         self.cfg = cfg
-        sim, cluster, streams, fragmentation = build_environment(cfg)
+        sim, cluster, streams, fragmentation = build_environment(
+            cfg, server_indices=self._server_indices
+        )
         self.sim = sim
         self.streams = streams
         self.cluster = cluster
+        self.fragmentation = fragmentation
         ctx = ServingContext.create(sim, cluster, streams)
         overrides = (
             {}
@@ -249,10 +287,20 @@ class ScenarioDriver:
             # fleet; the system serves with what it got (atomic per
             # replica) and its control loops recover — part of the test.
             pass
-        sim.run(until=spec.settle, max_events=MAX_EVENTS)
+        self.epoch = spec.settle
+        self.horizon = spec.settle + spec.duration + spec.drain
+        # Time boundaries at which setup hooks run mid-simulation; advance()
+        # crosses them in order regardless of the caller's window sizes.
+        self._boundaries: list[tuple[float, Callable[[], None]]] = [
+            (spec.settle, self._open_epoch)
+        ]
+        self._started = True
 
-        epoch = spec.settle
-        self.epoch = epoch
+    def _open_epoch(self) -> None:
+        """At the traffic epoch: arm gates, auditor, injector, workloads."""
+        spec, sim = self.spec, self.sim
+        epoch = self.epoch
+        system = self.system
         system.reset_measurement_epoch()
         if spec.qos_enabled:
             # The QoS control plane: class-aware routing + attainment
@@ -278,10 +326,17 @@ class ScenarioDriver:
                 else None
             )
             self.gate = AdmissionGate(system.submit, policy)
+        # Streaming accounting: per-tenant collectors are fed at arrival
+        # time (admitted requests only), so generators never need to
+        # retain the full request population for post-hoc replay.
+        self.collectors = {
+            m.model: MetricsCollector(f"{self.case.system}:{m.model}")
+            for m in spec.models
+        }
         self.auditor = InvariantAuditor(system, gates=[self.gate])
         self.injector = FailureInjector(
             sim,
-            cluster,
+            self.cluster,
             self.streams.stream("scenario-failures"),
             system,
             policy=ReclamationPolicy(
@@ -293,17 +348,36 @@ class ScenarioDriver:
         self._schedule_segments(epoch)
         self._schedule_events(epoch)
 
-        sim.run(until=epoch + spec.duration + spec.drain, max_events=MAX_EVENTS)
+    # ------------------------------------------------------------------
+    # Phase 2: simulate (windowed under sharding, one shot monolithically)
+    # ------------------------------------------------------------------
+    def advance(self, until: float) -> None:
+        """Simulate up to ``until``, crossing setup boundaries in order."""
+        if not self._started:
+            raise RuntimeError("advance() before start()")
+        while self._boundaries and self._boundaries[0][0] <= until:
+            at, hook = self._boundaries.pop(0)
+            self.sim.run(until=at, max_events=MAX_EVENTS)
+            hook()
+        self.sim.run(until=until, max_events=MAX_EVENTS)
+
+    # ------------------------------------------------------------------
+    # Phase 3: quiesce + report
+    # ------------------------------------------------------------------
+    def finish(self) -> ScenarioReport:
+        if not self._started:
+            raise RuntimeError("finish() before start()")
+        self.advance(self.horizon)  # no-op when already there
         self.injector.stop()
-        system.shutdown()
-        if fragmentation is not None:
-            fragmentation.stop()
-        sim.run_until_idle(max_events=MAX_EVENTS)
+        self.system.shutdown()
+        if self.fragmentation is not None:
+            self.fragmentation.stop()
+        self.sim.run_until_idle(max_events=MAX_EVENTS)
 
         all_generators = [g for gens in self.generators.values() for g in gens]
         self.auditor.generators = all_generators
         self._record(self.auditor.audit_quiesce())
-        return self._report(epoch)
+        return self._report(self.epoch)
 
     # ------------------------------------------------------------------
     def _total_queue(self) -> int:
@@ -356,9 +430,23 @@ class ScenarioDriver:
             slo_class=segment.slo_class or script.slo_class,
         )
         generator = WorkloadGenerator(
-            self.sim, arrivals, sampler, self.gate.submit, segment.duration
+            self.sim,
+            arrivals,
+            sampler,
+            self.gate.submit,
+            segment.duration,
+            # Streaming accounting: only gate-shed requests are retained
+            # (the auditor's exactly-once-shed evidence); admitted ones
+            # flow into the per-tenant collector at arrival and are
+            # otherwise owned by the serving system.
+            retain="rejected",
+            observer=partial(self._observe_arrival, model),
         )
         self.generators[model].append(generator)
+
+    def _observe_arrival(self, model: str, request) -> None:
+        if not request.rejected:
+            self.collectors[model].on_submit(request)
 
     # ------------------------------------------------------------------
     def _schedule_events(self, epoch: float) -> None:
@@ -436,6 +524,7 @@ class ScenarioDriver:
             horizon=spec.horizon,
             qos_enabled=spec.qos_enabled,
             tenants=tenants,
+            engine_events=self.sim.events_processed,
         )
 
     def _tenant_row(self, script, summary: RunSummary) -> TenantQoS:
@@ -466,13 +555,10 @@ class ScenarioDriver:
         Gate-shed requests never reach a tenant, so they are excluded
         here (the summary's ``offered`` means admitted); the report's
         top-level ``offered`` counts everything generated, with ``shed``
-        carrying the difference.
+        carrying the difference.  The collector was fed at arrival time
+        (streaming), so only completion records are attached here.
         """
-        collector = MetricsCollector(f"{self.case.system}:{model}")
-        for generator in self.generators[model]:
-            for request in generator.requests:
-                if not request.rejected:
-                    collector.on_submit(request)
+        collector = self.collectors[model]
         collector.records = [
             r for r in self.system.metrics.records if r.model == model
         ]
@@ -486,6 +572,10 @@ def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
     """Run one scenario case; any crash becomes a ``harness-crash`` finding
     on the report (the (scenario, system, seed) reproducer contract)."""
     try:
+        if case.shards > 0:
+            from repro.scenarios.sharding import run_sharded_case
+
+            return run_sharded_case(case)
         return ScenarioDriver(case).run()
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
         return ScenarioReport(
@@ -498,16 +588,23 @@ def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
         )
 
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 
 def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:
-    """Content hash of one scenario cell (same scheme as figure cells)."""
+    """Content hash of one scenario cell (same scheme as figure cells).
+
+    The key records only *whether* the case runs sharded, never the
+    worker count: sharded results are shard-count-invariant by
+    construction, so ``--shards 2`` and ``--shards 4`` share a cache
+    entry (exactly like the runner's jobs-invariance).
+    """
     payload = {
         "version": _CACHE_VERSION,
         "code": fingerprint,
         "system": case.system,
         "seed": case.seed,
+        "sharded": case.shards > 0,
         "spec": case.spec.to_dict(),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
@@ -523,12 +620,15 @@ def run_scenarios(
     runner=None,
     jobs: int | None = None,
     use_cache: bool | None = None,
+    shards: int = 0,
 ) -> list[ScenarioReport]:
     """Run every (scenario, system) cell, order-stable.
 
     Cells fan out through the parallel experiment runner and consult its
     on-disk result cache: re-running a scenario sweep only recomputes
-    cells whose spec, seed, or the source tree changed.
+    cells whose spec, seed, or the source tree changed.  ``shards >= 1``
+    routes each cell through the shard partitioner with that many worker
+    processes (results are shard-count-invariant).
     """
     from repro.experiments.runner import make_runner
 
@@ -539,7 +639,7 @@ def run_scenarios(
             f"unknown system(s) {unknown}; available: {sorted(CHAOS_SYSTEMS)}"
         )
     cases = [
-        ScenarioCase(spec.quick() if quick else spec, system, seed)
+        ScenarioCase(spec.quick() if quick else spec, system, seed, max(shards, 0))
         for spec in specs
         for system in chosen
     ]

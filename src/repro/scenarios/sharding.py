@@ -1,0 +1,499 @@
+"""Tenant- and server-affine shard partitioning for scenario runs.
+
+``repro scenario run --shards N`` routes each :class:`ScenarioCase`
+through :func:`run_sharded_case`: the fleet is partitioned into shard
+*groups* — one per tenant, each owning a disjoint server slice of the
+spec's named topology sized to its traffic and model footprint — and
+every group runs its own :class:`~repro.scenarios.driver.ScenarioDriver`
+(own :class:`~repro.simulation.engine.Simulator`, own seeded streams, own
+serving system) under a
+:class:`~repro.simulation.sharding.ShardCoordinator`.
+
+Two properties make the decomposition sound:
+
+* **The partition is a pure function of the spec**, never of the worker
+  count: ``--shards 2`` and ``--shards 4`` produce byte-identical
+  reports (the worker count only sets how many processes host the
+  groups).
+* **Tenant affinity keeps every deploy's replicas co-sharded**: a
+  tenant's routers, replicas, migrations and DataMover transfers all
+  live inside one shard, so scenario shards exchange no cross-shard
+  messages and the coordinator collapses the run into one conservative
+  window.  (The generic message protocol — finite lookahead, windowed
+  delivery — is exercised directly by the simulation-layer tests.)
+
+Systems that cannot partition **fall back to a single shard** with the
+reason recorded on the report:
+
+* the QoS control plane is fleet-global (share caps and weighted-fair
+  shedding are defined against *total* fleet memory/backlog);
+* a single-tenant fleet has nothing to split;
+* clusters too small to give every group a meaningful server slice.
+
+The auditor runs unchanged inside every shard (mid-run after each
+scripted event, the full invariant set at quiesce); the merge layer adds
+one *global* check — cross-shard request conservation at quiesce.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.cluster import server_placements
+from repro.cluster.gpu import GPUSpec
+from repro.metrics.latency import LatencyBreakdown, percentiles
+from repro.metrics.stalls import detect_stalls, recovery_times
+from repro.models.zoo import get_model
+from repro.metrics.collector import RunSummary
+from repro.scenarios.driver import (
+    ScenarioCase,
+    ScenarioDriver,
+    ScenarioReport,
+    TenantQoS,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.simulation.sharding import ShardCoordinator, ShardProgram
+from repro.validation.auditor import Violation
+
+# A group must own at least this many servers to be worth isolating
+# (thinner slices cannot absorb a scripted reclaim/failure without the
+# run degenerating); below it the partitioner falls back to one shard.
+MIN_SERVERS_PER_GROUP = 3
+
+
+# ----------------------------------------------------------------------
+# The partition plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardGroup:
+    """One shard: a tenant subset bound to a server slice and a seed."""
+
+    index: int
+    models: tuple[str, ...]
+    spec: ScenarioSpec  # the per-shard sub-spec (padded to parent duration)
+    server_indices: tuple[int, ...]
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full decomposition of one scenario (pure data)."""
+
+    scenario: str
+    groups: tuple[ShardGroup, ...]
+    fallback: str = ""  # non-empty: why the scenario runs single-shard
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.groups) > 1
+
+
+def _traffic_weight(script) -> float:
+    """A tenant's expected request volume (the server-slice sizing signal)."""
+    return sum(s.qps * s.duration for s in script.segments)
+
+
+def _min_gpus(script) -> int:
+    """Fewest GPUs that can hold one replica of the tenant's model."""
+    spec = get_model(script.model)
+    usable = GPUSpec().memory * 0.9  # headroom for KV cache / runtime
+    return max(int(math.ceil(spec.checkpoint_bytes / usable)), 1)
+
+
+def _shard_seed(seed: int, models: tuple[str, ...]) -> int:
+    """Stable per-group seed: a function of the case seed and the group's
+    tenant set only (never of the worker count or group order)."""
+    tag = ",".join(models)
+    return (seed * 1_000_003 + zlib.crc32(tag.encode())) % (2**31)
+
+
+def _assign_servers(
+    placements, weights: list[float], floors: list[int]
+) -> list[tuple[int, ...]]:
+    """Deal servers to groups: floors first, then largest GPU deficit.
+
+    Deterministic greedy — servers in (gpu_count desc, index) order, ties
+    between groups broken by group index — so the slices are a pure
+    function of (topology, weights, floors).
+    """
+    k = len(weights)
+    total_gpus = sum(p.n_gpus for p in placements)
+    wsum = sum(weights) or 1.0
+    targets = [total_gpus * w / wsum for w in weights]
+    got = [0] * k
+    out: list[list[int]] = [[] for _ in range(k)]
+    for placement in sorted(placements, key=lambda p: (-p.n_gpus, p.index)):
+        under_floor = [
+            (floors[g] - got[g], -g) for g in range(k) if got[g] < floors[g]
+        ]
+        if under_floor:
+            pick = -max(under_floor)[1]
+        else:
+            pick = max(range(k), key=lambda g: (targets[g] - got[g], -g))
+        out[pick].append(placement.index)
+        got[pick] += placement.n_gpus
+    return [tuple(sorted(indices)) for indices in out]
+
+
+def partition_scenario(spec: ScenarioSpec, seed: int = 0) -> ShardPlan:
+    """Decompose a scenario into tenant-affine shard groups.
+
+    Returns a single-group plan (with ``fallback`` set) when the scenario
+    cannot be partitioned; callers then run the monolithic driver.
+    """
+    if spec.qos_enabled:
+        return _fallback(spec, seed, "qos control plane is fleet-global")
+    if len(spec.models) < 2:
+        return _fallback(spec, seed, "single-tenant fleet")
+    placements = server_placements(spec.cluster)
+    k = len(spec.models)
+    if len(placements) < MIN_SERVERS_PER_GROUP * k:
+        return _fallback(
+            spec,
+            seed,
+            f"cluster too small to split ({len(placements)} servers "
+            f"for {k} tenants)",
+        )
+
+    weights = [_traffic_weight(m) for m in spec.models]
+    floors = [_min_gpus(m) for m in spec.models]
+    slices = _assign_servers(placements, weights, floors)
+
+    # Scripted events follow their target tenant; fleet-wide events
+    # (model=None) deal round-robin over groups by script position — a
+    # function of the spec alone, so the assignment is worker-invariant.
+    events_by_group: list[list] = [[] for _ in range(k)]
+    model_group = {m.model: g for g, m in enumerate(spec.models)}
+    for i, event in enumerate(spec.events):
+        g = model_group[event.model] if event.model is not None else i % k
+        events_by_group[g].append(event)
+
+    duration = spec.duration
+    # Each group gets a ceil-proportional slice of the backlog cap (one
+    # tenant per group), so the summed cap is never below the parent's.
+    cap = (
+        int(math.ceil(spec.admission_cap / len(spec.models)))
+        if spec.admission_cap
+        else 0
+    )
+    groups = []
+    for g, script in enumerate(spec.models):
+        sub = replace(
+            spec,
+            models=(script,),
+            events=tuple(events_by_group[g]),
+            admission_cap=cap,
+            min_duration=duration,
+        )
+        groups.append(
+            ShardGroup(
+                index=g,
+                models=(script.model,),
+                spec=sub,
+                server_indices=slices[g],
+                seed=_shard_seed(seed, (script.model,)),
+            )
+        )
+    return ShardPlan(scenario=spec.name, groups=tuple(groups))
+
+
+def _fallback(spec: ScenarioSpec, seed: int, reason: str) -> ShardPlan:
+    group = ShardGroup(
+        index=0,
+        models=spec.model_names,
+        spec=spec,
+        server_indices=tuple(
+            p.index for p in server_placements(spec.cluster)
+        ),
+        seed=seed,
+    )
+    return ShardPlan(scenario=spec.name, groups=(group,), fallback=reason)
+
+
+# ----------------------------------------------------------------------
+# The shard program (one driver per group)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSlice:
+    """One shard's picklable contribution to the merged report.
+
+    Carries the shard's own :class:`ScenarioReport` plus the *raw* merge
+    inputs (epoch-filtered latency/queue/utilization populations), so the
+    merged aggregate is computed exactly — not approximated from
+    per-shard summaries.
+    """
+
+    index: int
+    models: tuple[str, ...]
+    report: ScenarioReport
+    engine_events: int = 0
+    latencies: list[float] = field(default_factory=list)
+    queue_times: list[float] = field(default_factory=list)
+    exec_times: list[float] = field(default_factory=list)
+    comm_times: list[float] = field(default_factory=list)
+    prefill_latencies: list[float] = field(default_factory=list)
+    qlen_samples: list[int] = field(default_factory=list)
+    recoveries: list[float] = field(default_factory=list)
+    gpu_busy_seconds: float = 0.0
+    gpu_holding_integral: float = 0.0
+    init_times: list[float] = field(default_factory=list)
+    wait_times: list[float] = field(default_factory=list)
+    warm_starts: int = 0
+    refactor_count: int = 0
+    resident: int = 0
+
+
+class ScenarioShardProgram(ShardProgram):
+    """Wraps one phased :class:`ScenarioDriver` as a coordinator shard.
+
+    Tenant-affine scenario shards exchange no messages, so the lookahead
+    promise is unbounded and the coordinator runs a single window; the
+    program still advances through the driver's internal boundaries
+    (settle -> epoch hooks) exactly as the monolithic path does.
+    """
+
+    lookahead = math.inf
+
+    def __init__(self, group: ShardGroup, system: str):
+        super().__init__()
+        self.group = group
+        self.driver = ScenarioDriver(
+            ScenarioCase(group.spec, system, group.seed),
+            server_indices=group.server_indices,
+        )
+
+    def setup(self) -> None:
+        self.driver.start()
+
+    def advance(self, until: float) -> None:
+        self.driver.advance(until)
+
+    def next_event_time(self) -> float | None:
+        return self.driver.sim.peek()
+
+    def events_processed(self) -> int:
+        return self.driver.sim.events_processed
+
+    def finish(self) -> ShardSlice:
+        report = self.driver.finish()
+        return _build_slice(self.group, self.driver, report)
+
+
+def _build_slice(
+    group: ShardGroup, driver: ScenarioDriver, report: ScenarioReport
+) -> ShardSlice:
+    epoch = driver.epoch
+    metrics = driver.system.metrics
+    done = [
+        r
+        for r in metrics.records
+        if r.completed and r.arrival_time >= epoch
+    ]
+    episodes = detect_stalls(
+        [r.completion_time for r in done], [r.latency for r in done]
+    )
+    scale_outs = [e for e in metrics.events if e.kind == "scale_out"]
+    system = driver.system
+    # Requests still parked in an accounted queue at quiesce (the same
+    # residency the auditor's request-conservation invariant credits):
+    # baselines that shed load by reclamation legitimately strand work in
+    # router queues, and the cross-shard balance must not count it lost.
+    resident = sum(
+        len(r.pending) for r in system.all_routers().values()
+    ) + sum(
+        len(rep.batcher) + rep.inflight_requests
+        for rep in system.all_replicas()
+    )
+    return ShardSlice(
+        index=group.index,
+        models=group.models,
+        report=report,
+        engine_events=driver.sim.events_processed,
+        latencies=[r.latency for r in done],
+        queue_times=[r.queue_time for r in done],
+        exec_times=[r.exec_time for r in done],
+        comm_times=[r.comm_time for r in done],
+        prefill_latencies=[
+            r.prefill_latency for r in done if r.prefill_latency is not None
+        ],
+        qlen_samples=[q for t, q in metrics.queue_samples if t >= epoch],
+        recoveries=list(recovery_times(episodes)),
+        gpu_busy_seconds=sum(
+            g.busy_seconds for g in driver.system.ctx.cluster.gpus
+        ),
+        gpu_holding_integral=driver.system._gpu_holding_integral,
+        init_times=[e.init_time for e in scale_outs],
+        wait_times=[e.wait_time for e in scale_outs],
+        warm_starts=sum(1 for e in scale_outs if e.warm),
+        refactor_count=len(
+            [e for e in metrics.events if e.kind == "refactor"]
+        ),
+        resident=resident,
+    )
+
+
+# ----------------------------------------------------------------------
+# Case execution + merge
+# ----------------------------------------------------------------------
+def run_sharded_case(case: ScenarioCase) -> ScenarioReport:
+    """Run one case through the shard partitioner and merge the results.
+
+    ``case.shards`` is the worker-process budget; the group decomposition
+    comes from :func:`partition_scenario` and is identical for every
+    worker count, so reports at ``--shards 1/2/4`` are byte-identical.
+    """
+    plan = partition_scenario(case.spec, case.seed)
+    if not plan.sharded:
+        report = ScenarioDriver(
+            ScenarioCase(case.spec, case.system, case.seed)
+        ).run()
+        report.shards = 1
+        report.shard_fallback = plan.fallback
+        return report
+    coordinator = ShardCoordinator(
+        [
+            (ScenarioShardProgram, (group, case.system))
+            for group in plan.groups
+        ],
+        horizon=case.spec.horizon,
+        workers=max(case.shards, 1),
+    )
+    slices = coordinator.run()
+    return merge_shard_reports(case, plan, slices)
+
+
+def merge_shard_reports(
+    case: ScenarioCase, plan: ShardPlan, slices: list[ShardSlice]
+) -> ScenarioReport:
+    """Fold per-shard slices into one fleet-level :class:`ScenarioReport`.
+
+    Population statistics (latency percentiles, queue-time means, queue
+    lengths, stall recoveries) are recomputed over the *concatenated*
+    per-shard populations — shard-index order, so the result is a pure
+    function of the plan.  Counters sum; utilization merges via the
+    summed busy-seconds and GPU-holding integrals, exactly as the
+    monolithic ``summarize`` computes them.
+    """
+    spec = case.spec
+    slices = sorted(slices, key=lambda s: s.index)
+    reports = [s.report for s in slices]
+    measured = max(spec.duration, 1.0) + spec.drain
+
+    violations: list[Violation] = []
+    for s in slices:
+        for v in s.report.violations:
+            violations.append(
+                Violation(v.invariant, f"[shard {s.index}] {v.detail}")
+            )
+    offered = sum(r.offered for r in reports)
+    completed = sum(r.completed for r in reports)
+    shed = sum(r.shed for r in reports)
+    resident = sum(s.resident for s in slices)
+    # The one invariant only the merge layer can see: every generated
+    # request is accounted for *across* shards at quiesce — completed
+    # exactly once, shed at a gate, or still resident in an accounted
+    # queue (the same balance the per-shard auditor enforces locally).
+    if offered != completed + shed + resident:
+        violations.append(
+            Violation(
+                "cross-shard-conservation",
+                f"offered {offered} != completed {completed} + shed {shed} "
+                f"+ resident {resident} across {len(slices)} shards "
+                f"at quiesce",
+            )
+        )
+
+    events: dict[str, int] = {}
+    for r in reports:
+        for key, count in r.events.items():
+            events[key] = events.get(key, 0) + count
+
+    per_model: dict[str, RunSummary] = {}
+    tenants: dict[str, TenantQoS] = {}
+    for name in spec.model_names:
+        for r in reports:
+            if name in r.per_model:
+                per_model[name] = r.per_model[name]
+                tenants[name] = r.tenants[name]
+
+    return ScenarioReport(
+        scenario=spec.name,
+        system=case.system,
+        seed=case.seed,
+        violations=violations,
+        aggregate=_merge_aggregate(case.system, slices, measured),
+        per_model=per_model,
+        offered=offered,
+        completed=completed,
+        shed=shed,
+        events=dict(sorted(events.items())),
+        horizon=spec.horizon,
+        qos_enabled=spec.qos_enabled,
+        tenants=tenants,
+        shards=len(slices),
+        shard_fallback=plan.fallback,
+        engine_events=sum(s.engine_events for s in slices),
+    )
+
+
+def _concat(slices: list[ShardSlice], attr: str) -> np.ndarray:
+    values = [v for s in slices for v in getattr(s, attr)]
+    return np.array(values) if values else np.array([])
+
+
+def _merge_aggregate(
+    system: str, slices: list[ShardSlice], measured: float
+) -> RunSummary:
+    aggregates = [s.report.aggregate for s in slices]
+    offered = sum(a.offered for a in aggregates)
+    completed = sum(a.completed for a in aggregates)
+    goodput = sum(a.goodput for a in aggregates)
+    latencies = _concat(slices, "latencies")
+    queue = _concat(slices, "queue_times")
+    execution = _concat(slices, "exec_times")
+    comm = _concat(slices, "comm_times")
+    prefill = _concat(slices, "prefill_latencies")
+    qlens = _concat(slices, "qlen_samples")
+    recoveries = [v for s in slices for v in s.recoveries]
+    init_times = [v for s in slices for v in s.init_times]
+    wait_times = [v for s in slices for v in s.wait_times]
+    scale_out_count = len(init_times)
+    warm_starts = sum(s.warm_starts for s in slices)
+    busy = sum(s.gpu_busy_seconds for s in slices)
+    holding = sum(s.gpu_holding_integral for s in slices)
+    avg_gpus = holding / measured if measured > 0 else 0.0
+    gpus_used = max(round(avg_gpus), 1)
+    denominator = gpus_used * measured
+    return RunSummary(
+        system=system,
+        duration=measured,
+        offered=offered,
+        completed=completed,
+        goodput=goodput,
+        goodput_rate=goodput / offered if offered else 0.0,
+        breakdown=LatencyBreakdown(
+            queue=float(queue.mean()) if queue.size else 0.0,
+            execution=float(execution.mean()) if execution.size else 0.0,
+            communication=float(comm.mean()) if comm.size else 0.0,
+        ),
+        latency_percentiles=percentiles(latencies),
+        mean_latency=float(latencies.mean()) if latencies.size else 0.0,
+        mean_prefill_latency=float(prefill.mean()) if prefill.size else 0.0,
+        gpu_utilization=min(busy / denominator, 1.0) if denominator > 0 else 0.0,
+        gpus_used=gpus_used,
+        mean_queue_length=float(qlens.mean()) if qlens.size else 0.0,
+        p95_queue_length=float(np.percentile(qlens, 95)) if qlens.size else 0.0,
+        stall_cycle=float(np.mean(recoveries)) if recoveries else 0.0,
+        median_recovery=float(np.median(recoveries)) if recoveries else 0.0,
+        refactor_count=sum(s.refactor_count for s in slices),
+        scale_out_count=scale_out_count,
+        warm_start_rate=(
+            warm_starts / scale_out_count if scale_out_count else 0.0
+        ),
+        mean_init_time=float(np.mean(init_times)) if init_times else 0.0,
+        mean_alloc_wait=float(np.mean(wait_times)) if wait_times else 0.0,
+    )

@@ -235,6 +235,12 @@ class ScenarioSpec:
     # attainment-driven scaling) — so on-vs-off is an apples-to-apples
     # policy comparison over identical traffic.
     qos: str = "auto"
+    # Floor on the traffic window.  Shard partitioning replaces a parent
+    # scenario with per-shard sub-specs whose own segments/events may end
+    # earlier; padding every sub-spec to the parent's duration keeps the
+    # measured windows (and therefore rates/utilization denominators)
+    # identical across shards and equal to the unsharded run's.
+    min_duration: float = 0.0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -259,6 +265,8 @@ class ScenarioSpec:
                 )
         if self.settle < 0 or self.drain < 0:
             raise ValueError("settle/drain cannot be negative")
+        if self.min_duration < 0:
+            raise ValueError("min_duration cannot be negative")
 
     # ------------------------------------------------------------------
     @property
@@ -267,7 +275,7 @@ class ScenarioSpec:
         horizon = max(m.horizon for m in self.models)
         if self.events:
             horizon = max(horizon, max(e.at for e in self.events) + 1.0)
-        return horizon
+        return max(horizon, self.min_duration)
 
     @property
     def horizon(self) -> float:

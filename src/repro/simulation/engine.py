@@ -154,9 +154,10 @@ class Simulator:
             self._pop()
         return self._queue[0].time if self._queue else None
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired.
+        ``max_events`` have fired.  Returns the number of events fired by
+        this call (shard coordinators use it for per-window accounting).
 
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue drains earlier, so utilization denominators stay
@@ -186,6 +187,7 @@ class Simulator:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
+        return fired
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Drain the queue completely (with a runaway-loop backstop)."""

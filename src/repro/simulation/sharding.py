@@ -1,0 +1,378 @@
+"""Conservative sharded parallel simulation (null-message style).
+
+The fleet's servers are partitioned into *shards*, each running its own
+:class:`~repro.simulation.engine.Simulator` independently.  A
+:class:`ShardCoordinator` advances every shard in lock-step *lookahead
+windows*: each shard simulates up to a barrier, emits outbound
+cross-shard messages stamped with their arrival time, and the coordinator
+delivers them into the destination shard before the next window opens.
+
+The protocol is conservative: a shard promises (via
+:attr:`ShardProgram.lookahead`) a lower bound on the latency of anything
+it sends — the cross-shard transfer-latency floor — so a window of that
+width can never deliver a message into a shard's *past*.  The coordinator
+verifies the promise on every message and raises
+:class:`~repro.simulation.engine.SimulationError` on a violation instead
+of silently reordering history.
+
+Determinism is worker-count-invariant by construction:
+
+* the shard decomposition is an input (the factories list), never derived
+  from the worker count;
+* messages are routed in a total order — ``(arrival time, source shard,
+  per-source sequence)`` — regardless of which process produced them;
+* window barriers depend only on event/message timestamps.
+
+So ``workers=1`` (all shards stepped in one process) and ``workers=N``
+(shards spread over N persistent forked workers) produce byte-identical
+results, exactly like the experiment runner's jobs-invariance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simulation.engine import SimulationError, Simulator
+
+# Tolerance for the conservative-delivery check: a message may arrive
+# exactly at the barrier (it is delivered before the next window, which
+# opens at the barrier), never strictly inside the window that sent it.
+_BARRIER_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard event: "something arrives at shard ``dst`` at ``time``".
+
+    ``src``/``seq`` are stamped by the sending program and define, with
+    ``time``, the total delivery order — ties between shards resolve by
+    source index, ties within a source by emission order.
+    """
+
+    time: float
+    dst: int
+    kind: str
+    payload: Any = None
+    src: int = -1
+    seq: int = -1
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.src, self.seq)
+
+
+class ShardProgram:
+    """One shard: a self-contained simulation advanced in windows.
+
+    Subclasses override :meth:`setup`, :meth:`advance`, :meth:`finish`
+    and (when they exchange messages) :meth:`on_message`.  ``lookahead``
+    is the shard's conservative promise: every message it sends arrives
+    at least that far in the future.  ``math.inf`` (the default) means
+    the shard never sends — the coordinator then collapses the run into
+    a single window.
+    """
+
+    lookahead: float = math.inf
+
+    def __init__(self) -> None:
+        self.shard_index = -1  # set by the host before setup()
+        self._outbox: list[ShardMessage] = []
+        self._send_seq = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def setup(self) -> None:
+        """Build the shard's world (simulator, systems, workloads)."""
+
+    def advance(self, until: float) -> None:
+        """Simulate up to (and including) ``until``."""
+        raise NotImplementedError
+
+    def finish(self) -> Any:
+        """Quiesce and return this shard's picklable result."""
+        raise NotImplementedError
+
+    # -- messaging ------------------------------------------------------
+    def send(self, time: float, dst: int, kind: str, payload: Any = None) -> None:
+        """Emit a cross-shard message arriving at ``dst`` at ``time``."""
+        self._outbox.append(
+            ShardMessage(
+                time=time,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+                src=self.shard_index,
+                seq=self._send_seq,
+            )
+        )
+        self._send_seq += 1
+
+    def deliver(self, messages: list[ShardMessage]) -> None:
+        """Deliver inbound messages (already in global delivery order)."""
+        for message in messages:
+            self.on_message(message)
+
+    def on_message(self, message: ShardMessage) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} received a message but does not "
+            f"implement on_message()"
+        )
+
+    def collect_outbound(self) -> list[ShardMessage]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    # -- introspection --------------------------------------------------
+    def next_event_time(self) -> float | None:
+        """Earliest pending local event (None = idle); lets the
+        coordinator skip empty windows without breaking conservatism."""
+        return None
+
+    def events_processed(self) -> int:
+        return 0
+
+
+class SimShardProgram(ShardProgram):
+    """A :class:`ShardProgram` backed by one :class:`Simulator`.
+
+    Inbound messages are scheduled into the heap at their stamped arrival
+    time and dispatched to :meth:`handle_message`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sim = Simulator()
+
+    def advance(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def deliver(self, messages: list[ShardMessage]) -> None:
+        for message in messages:
+            if message.time < self.sim.now:
+                raise SimulationError(
+                    f"shard {self.shard_index}: message {message.kind!r} "
+                    f"arrives at t={message.time:.6f} but local time is "
+                    f"already t={self.sim.now:.6f}"
+                )
+            self.sim.schedule_at(message.time, self.handle_message, message)
+
+    def handle_message(self, message: ShardMessage) -> None:
+        raise NotImplementedError
+
+    def next_event_time(self) -> float | None:
+        return self.sim.peek()
+
+    def events_processed(self) -> int:
+        return self.sim.events_processed
+
+
+@dataclass
+class ShardResult:
+    """Per-shard outcome returned by :meth:`ShardCoordinator.run`."""
+
+    index: int
+    value: Any
+    events: int = 0
+
+
+class ShardHost:
+    """Hosts a subset of shard programs inside one process.
+
+    With W workers and K shards, worker ``w`` hosts shards ``w, w+W,
+    w+2W, ...``; within a host, shards are always stepped in shard-index
+    order, so the interleaving is identical for every W.
+    """
+
+    def __init__(self, entries: list[tuple[int, Callable, tuple]]):
+        self._programs: list[ShardProgram] = []
+        for index, factory, args in sorted(entries, key=lambda e: e[0]):
+            program = factory(*args)
+            program.shard_index = index
+            self._programs.append(program)
+        for program in self._programs:
+            program.setup()
+
+    def lookahead(self) -> float:
+        return min(p.lookahead for p in self._programs)
+
+    def advance(
+        self, until: float, inbound: list[ShardMessage]
+    ) -> tuple[list[ShardMessage], float]:
+        """Deliver + advance every hosted shard to ``until``.
+
+        Returns (outbound messages, earliest next local event time —
+        ``math.inf`` when all hosted shards are idle).
+        """
+        by_dst: dict[int, list[ShardMessage]] = {}
+        for message in inbound:
+            by_dst.setdefault(message.dst, []).append(message)
+        outbound: list[ShardMessage] = []
+        for program in self._programs:
+            messages = by_dst.pop(program.shard_index, None)
+            if messages:
+                program.deliver(messages)
+            program.advance(until)
+            outbound.extend(program.collect_outbound())
+        if by_dst:
+            stray = sorted(by_dst)
+            raise SimulationError(
+                f"messages routed to shard(s) {stray} not hosted here "
+                f"(hosted: {[p.shard_index for p in self._programs]})"
+            )
+        nexts = [p.next_event_time() for p in self._programs]
+        earliest = min(
+            (t for t in nexts if t is not None), default=math.inf
+        )
+        return outbound, earliest
+
+    def finish(self) -> list[ShardResult]:
+        return [
+            ShardResult(p.shard_index, p.finish(), p.events_processed())
+            for p in self._programs
+        ]
+
+
+class ShardCoordinator:
+    """Advances a set of shard programs in conservative lock-step windows.
+
+    ``factories`` is one ``(callable, args)`` per shard; the callable
+    builds that shard's :class:`ShardProgram` (in the hosting process,
+    so un-picklable simulation state never crosses a pipe — only the
+    factory inputs and the finished results do).
+    """
+
+    def __init__(
+        self,
+        factories: list[tuple[Callable, tuple]],
+        *,
+        horizon: float,
+        lookahead: float | None = None,
+        workers: int = 1,
+    ):
+        if not factories:
+            raise ValueError("need at least one shard")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if lookahead is not None and lookahead <= 0:
+            raise ValueError(f"lookahead must be positive, got {lookahead}")
+        self.factories = list(factories)
+        self.horizon = float(horizon)
+        self._lookahead_override = lookahead
+        self.workers = max(int(workers), 1)
+        self.windows = 0
+        self.messages_routed = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Any]:
+        """Run every shard to the horizon; per-shard results in index order."""
+        n_shards = len(self.factories)
+        n_hosts = min(self.workers, n_shards)
+        assignments: list[list[tuple[int, Callable, tuple]]] = [
+            [] for _ in range(n_hosts)
+        ]
+        for index, (factory, args) in enumerate(self.factories):
+            assignments[index % n_hosts].append((index, factory, args))
+
+        pool = None
+        if n_hosts > 1:
+            from repro.experiments.runner import PersistentWorkerPool
+
+            pool = PersistentWorkerPool(
+                [(ShardHost, (entries,)) for entries in assignments]
+            )
+        hosts = None if pool is not None else [ShardHost(e) for e in assignments]
+
+        def call_all(method: str, args_list: list[tuple]) -> list:
+            if pool is not None:
+                return pool.call_all(method, args_list)
+            return [
+                getattr(host, method)(*args)
+                for host, args in zip(hosts, args_list)
+            ]
+
+        try:
+            lookahead = self._lookahead_override
+            if lookahead is None:
+                lookahead = min(call_all("lookahead", [()] * n_hosts))
+                if lookahead <= 0:
+                    raise SimulationError(
+                        f"non-positive shard lookahead {lookahead}: "
+                        f"conservative windows are impossible"
+                    )
+            results = self._drive(call_all, n_hosts, lookahead)
+        finally:
+            if pool is not None:
+                pool.close()
+        results.sort(key=lambda r: r.index)
+        self.events_processed = sum(r.events for r in results)
+        return [r.value for r in results]
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self, call_all: Callable, n_hosts: int, lookahead: float
+    ) -> list[ShardResult]:
+        t = 0.0
+        earliest = 0.0  # force the first window to open at the start
+        pending: list[ShardMessage] = []
+        while t < self.horizon:
+            if math.isinf(lookahead):
+                barrier = self.horizon
+            else:
+                # Nothing can happen before the earliest pending event or
+                # message, so the window may open there — a standard
+                # null-message advance that skips idle stretches.
+                barrier = min(self.horizon, max(earliest, t) + lookahead)
+            pending.sort(key=lambda m: m.sort_key)
+            outcomes = call_all(
+                "advance",
+                [
+                    (
+                        barrier,
+                        [m for m in pending if m.dst % n_hosts == host],
+                    )
+                    for host in range(n_hosts)
+                ],
+            )
+            self.windows += 1
+            outbound = [m for out, _ in outcomes for m in out]
+            for message in outbound:
+                if message.time < barrier - _BARRIER_EPS:
+                    raise SimulationError(
+                        f"conservative sync violated: shard {message.src} "
+                        f"sent {message.kind!r} arriving at "
+                        f"t={message.time:.6f}, inside the window ending at "
+                        f"t={barrier:.6f} (its lookahead promise was "
+                        f">= {lookahead:g})"
+                    )
+                if not 0 <= message.dst < len(self.factories):
+                    raise SimulationError(
+                        f"message {message.kind!r} addressed to unknown "
+                        f"shard {message.dst}"
+                    )
+            self.messages_routed += len(outbound)
+            pending = outbound
+            t = barrier
+            earliest = min(
+                min((next_t for _, next_t in outcomes), default=math.inf),
+                min((m.time for m in pending), default=math.inf),
+            )
+            if math.isinf(earliest) and not pending:
+                t = self.horizon  # everyone idle: nothing left before the end
+        if pending:
+            # Residual messages arriving at/after the horizon: hand them to
+            # their shards so finish()-time draining sees them.
+            pending.sort(key=lambda m: m.sort_key)
+            call_all(
+                "advance",
+                [
+                    (
+                        self.horizon,
+                        [m for m in pending if m.dst % n_hosts == host],
+                    )
+                    for host in range(n_hosts)
+                ],
+            )
+        finished = call_all("finish", [()] * n_hosts)
+        return [result for host_results in finished for result in host_results]

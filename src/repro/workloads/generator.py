@@ -8,13 +8,28 @@ from repro.simulation.engine import Simulator
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.requests import Request, RequestSampler
 
+RETAIN_MODES = ("all", "rejected")
+
 
 class WorkloadGenerator:
     """Schedules sampled requests into a sink for ``duration`` seconds.
 
     The sink is any callable accepting a :class:`Request` — normally a
-    serving system's ``submit`` method.  All generated requests are kept in
-    ``self.requests`` for post-hoc metric computation.
+    serving system's ``submit`` method.
+
+    ``retain`` controls which requests stay referenced in ``self.requests``
+    after they are handed to the sink:
+
+    * ``"all"`` (default, the historical behaviour) keeps everything for
+      post-hoc metric computation;
+    * ``"rejected"`` keeps only gate-shed requests — the evidence the
+      invariant auditor needs for exactly-once-shed accounting — so a
+      million-request trace replay never materialises the admitted
+      population (streaming consumers observe arrivals via ``observer``
+      instead).
+
+    ``observer`` (optional) is called with each request immediately after
+    the sink ran, i.e. once admission has stamped ``request.rejected``.
     """
 
     def __init__(
@@ -24,15 +39,25 @@ class WorkloadGenerator:
         sampler: RequestSampler,
         sink: Callable[[Request], None],
         duration: float,
+        *,
+        retain: str = "all",
+        observer: Callable[[Request], None] | None = None,
     ):
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
+        if retain not in RETAIN_MODES:
+            raise ValueError(
+                f"unknown retain mode {retain!r}; choose from {RETAIN_MODES}"
+            )
         self.sim = sim
         self.arrivals = arrivals
         self.sampler = sampler
         self.sink = sink
         self.duration = duration
+        self.retain = retain
+        self.observer = observer
         self.requests: list[Request] = []
+        self._offered = 0
         self._start = sim.now
         self._schedule_next()
 
@@ -45,10 +70,16 @@ class WorkloadGenerator:
 
     def _arrive(self) -> None:
         request = self.sampler.sample(self.sim.now)
-        self.requests.append(request)
+        self._offered += 1
         self.sink(request)
+        # Admission gates reject synchronously inside the sink, so the
+        # ``rejected`` mark is final by the time retention is decided.
+        if self.retain == "all" or request.rejected:
+            self.requests.append(request)
+        if self.observer is not None:
+            self.observer(request)
         self._schedule_next()
 
     @property
     def offered(self) -> int:
-        return len(self.requests)
+        return self._offered

@@ -1,0 +1,315 @@
+"""Simulation-layer sharding: the conservative coordinator protocol.
+
+These tests exercise the generic message-passing machinery directly with
+synthetic shard programs (scenario shards never exchange messages, so the
+windowed protocol needs its own coverage): worker-count invariance,
+conservative-delivery enforcement, idle-window skipping, residual
+delivery at the horizon, and error propagation through the persistent
+worker pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import PersistentWorkerPool, WorkerError
+from repro.simulation.engine import SimulationError
+from repro.simulation.sharding import (
+    ShardCoordinator,
+    ShardMessage,
+    ShardProgram,
+    SimShardProgram,
+)
+
+
+class PingPong(SimShardProgram):
+    """Two-or-more shards bouncing a counter around a ring.
+
+    Shard 0 seeds the token at t=0; every delivery increments the count
+    and forwards it to the next shard ``latency`` seconds later.  The
+    trace of (time, count) pairs is a deterministic function of (ring
+    size, latency, horizon) — the cross-worker invariance witness.
+    """
+
+    lookahead = 1.0
+
+    def __init__(self, ring: int, latency: float = 1.0):
+        super().__init__()
+        self.ring = ring
+        self.latency = latency
+        self.trace: list[tuple[float, int]] = []
+
+    def setup(self) -> None:
+        if self.shard_index == 0:
+            self.sim.schedule_at(0.0, self._seed)
+
+    def _seed(self) -> None:
+        self._forward(0)
+
+    def _forward(self, count: int) -> None:
+        self.send(
+            self.sim.now + self.latency,
+            (self.shard_index + 1) % self.ring,
+            "token",
+            count + 1,
+        )
+
+    def handle_message(self, message: ShardMessage) -> None:
+        self.trace.append((self.sim.now, message.payload))
+        self._forward(message.payload)
+
+    def finish(self):
+        return self.trace
+
+
+class Mute(ShardProgram):
+    """A shard with local events only (never sends)."""
+
+    def __init__(self, n_events: int = 3):
+        super().__init__()
+        self.n_events = n_events
+        self.fired: list[float] = []
+        self._clock = 0.0
+
+    def advance(self, until: float) -> None:
+        while len(self.fired) < self.n_events:
+            t = (len(self.fired) + 1) * 2.0
+            if t > until:
+                break
+            self.fired.append(t)
+        self._clock = until
+
+    def next_event_time(self):
+        nxt = (len(self.fired) + 1) * 2.0
+        return nxt if len(self.fired) < self.n_events else None
+
+    def finish(self):
+        return self.fired
+
+
+class Rogue(SimShardProgram):
+    """Violates its lookahead promise: sends with near-zero latency."""
+
+    lookahead = 5.0
+
+    def setup(self) -> None:
+        if self.shard_index == 0:
+            self.sim.schedule_at(1.0, self._cheat)
+
+    def _cheat(self) -> None:
+        self.send(self.sim.now + 0.01, 1, "early")
+
+    def handle_message(self, message: ShardMessage) -> None:  # pragma: no cover
+        pass
+
+    def finish(self):
+        return None
+
+
+class Exploding:
+    """Worker-pool factory whose construction raises."""
+
+    def __init__(self):
+        raise RuntimeError("boom at construction")
+
+
+class MethodBomb:
+    def __init__(self):
+        pass
+
+    def detonate(self):
+        raise ValueError("boom at call")
+
+    def ok(self, x):
+        return x * 2
+
+
+# ----------------------------------------------------------------------
+# Coordinator protocol
+# ----------------------------------------------------------------------
+class TestCoordinator:
+    def run_ring(self, ring: int, workers: int, horizon: float = 20.0):
+        coordinator = ShardCoordinator(
+            [(PingPong, (ring,)) for _ in range(ring)],
+            horizon=horizon,
+            workers=workers,
+        )
+        return coordinator, coordinator.run()
+
+    def test_token_circulates(self):
+        coordinator, results = self.run_ring(2, workers=1)
+        # Token seeded at t=0, arrives at shard 1 at t=1, back at 0 at
+        # t=2, ... => ~horizon hops total, alternating shards.
+        assert results[0][0] == (2.0, 2)
+        assert results[1][0] == (1.0, 1)
+        assert coordinator.messages_routed >= 19
+        assert coordinator.windows >= 19  # lookahead-1 windows over t=20
+
+    def test_worker_count_invariance(self):
+        _, baseline = self.run_ring(3, workers=1)
+        for workers in (2, 3, 8):
+            _, results = self.run_ring(3, workers=workers)
+            assert results == baseline, f"workers={workers} diverged"
+
+    def test_events_processed_aggregates(self):
+        coordinator, _ = self.run_ring(2, workers=1)
+        assert coordinator.events_processed > 0
+
+    def test_conservative_violation_raises(self):
+        coordinator = ShardCoordinator(
+            [(Rogue, ()), (Rogue, ())], horizon=10.0, workers=1
+        )
+        with pytest.raises(SimulationError, match="conservative sync"):
+            coordinator.run()
+
+    def test_unknown_destination_raises(self):
+        class Stray(Rogue):
+            lookahead = 1.0
+
+            def _cheat(self) -> None:
+                self.send(self.sim.now + 2.0, 7, "nowhere")
+
+        coordinator = ShardCoordinator(
+            [(Stray, ()), (Stray, ())], horizon=10.0, workers=1
+        )
+        with pytest.raises(SimulationError, match="unknown\\s+shard 7"):
+            coordinator.run()
+
+    def test_idle_shards_skip_to_horizon(self):
+        # Finite lookahead but only 3 local events per shard: after the
+        # last one the coordinator must jump to the horizon instead of
+        # spinning 0.5-wide windows to t=1000.
+        class FiniteMute(Mute):
+            lookahead = 0.5
+
+        coordinator = ShardCoordinator(
+            [(FiniteMute, ()), (FiniteMute, ())], horizon=1000.0, workers=1
+        )
+        results = coordinator.run()
+        assert results == [[2.0, 4.0, 6.0], [2.0, 4.0, 6.0]]
+        # Windows track events (6 at 2.0-spacing / 0.5-lookahead hops),
+        # not the 2000 a naive fixed-step loop would take.
+        assert coordinator.windows < 30
+
+    def test_message_at_horizon_not_lost(self):
+        # A token sent to arrive exactly at the horizon must still be
+        # delivered (the residual pass) so conservation holds at quiesce.
+        coordinator = ShardCoordinator(
+            [(PingPong, (2,)), (PingPong, (2,))], horizon=3.0, workers=1
+        )
+        results = coordinator.run()
+        arrivals = [t for trace in results for (t, _) in trace]
+        assert 3.0 in arrivals
+
+    def test_rejects_empty_and_bad_args(self):
+        with pytest.raises(ValueError):
+            ShardCoordinator([], horizon=1.0)
+        with pytest.raises(ValueError):
+            ShardCoordinator([(PingPong, (1,))], horizon=0.0)
+        with pytest.raises(ValueError):
+            ShardCoordinator([(PingPong, (1,))], horizon=1.0, lookahead=0.0)
+
+    def test_infinite_lookahead_single_window(self):
+        coordinator = ShardCoordinator(
+            [(Mute, ()), (Mute, ())], horizon=50.0, workers=1
+        )
+        results = coordinator.run()
+        assert results == [[2.0, 4.0, 6.0], [2.0, 4.0, 6.0]]
+        assert coordinator.windows == 1
+
+    def test_past_delivery_raises(self):
+        program = PingPong(2)
+        program.shard_index = 1
+        program.setup()
+        program.advance(5.0)
+        with pytest.raises(SimulationError, match="local time"):
+            program.deliver([ShardMessage(time=1.0, dst=1, kind="late")])
+
+
+class TestMessageOrdering:
+    def test_total_order_key(self):
+        messages = [
+            ShardMessage(time=2.0, dst=0, kind="b", src=1, seq=0),
+            ShardMessage(time=1.0, dst=0, kind="a", src=2, seq=5),
+            ShardMessage(time=1.0, dst=0, kind="c", src=0, seq=1),
+            ShardMessage(time=1.0, dst=0, kind="d", src=0, seq=0),
+        ]
+        ordered = sorted(messages, key=lambda m: m.sort_key)
+        assert [m.kind for m in ordered] == ["d", "c", "a", "b"]
+
+    def test_send_stamps_src_and_seq(self):
+        program = PingPong(2)
+        program.shard_index = 4
+        program.send(1.0, 0, "x")
+        program.send(2.0, 1, "y")
+        out = program.collect_outbound()
+        assert [(m.src, m.seq) for m in out] == [(4, 0), (4, 1)]
+        assert program.collect_outbound() == []
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+class TestPersistentWorkerPool:
+    def test_round_trips_calls(self):
+        with PersistentWorkerPool(
+            [(MethodBomb, ()), (MethodBomb, ())]
+        ) as pool:
+            assert len(pool) == 2
+            assert pool.call_all("ok", [(3,), (4,)]) == [6, 8]
+            # Workers hold state across calls — a second round works.
+            assert pool.call_all("ok", [(1,), (2,)]) == [2, 4]
+
+    def test_construction_error_propagates(self):
+        with pytest.raises(WorkerError, match="boom at construction"):
+            PersistentWorkerPool([(Exploding, ())])
+
+    def test_method_error_propagates(self):
+        pool = PersistentWorkerPool([(MethodBomb, ())])
+        try:
+            with pytest.raises(WorkerError, match="boom at call"):
+                pool.call_all("detonate", [()])
+        finally:
+            pool.close()
+
+    def test_close_idempotent(self):
+        pool = PersistentWorkerPool([(MethodBomb, ())])
+        pool.close()
+        pool.close()
+
+
+def test_coordinator_multiworker_matches_local_with_pool():
+    """End-to-end: pooled hosts (forked) equal in-process hosts."""
+    ring = 4
+    results = {}
+    for workers in (1, 2, 4):
+        coordinator = ShardCoordinator(
+            [(PingPong, (ring,)) for _ in range(ring)],
+            horizon=12.0,
+            workers=workers,
+        )
+        results[workers] = coordinator.run()
+    assert results[1] == results[2] == results[4]
+    token_counts = [c for trace in results[1] for (_, c) in trace]
+    assert max(token_counts) >= 11  # ~1 hop/second over t=12
+
+
+def test_lookahead_must_be_positive():
+    class Zero(ShardProgram):
+        lookahead = 0.0
+
+        def advance(self, until: float) -> None:
+            pass
+
+        def finish(self):
+            return None
+
+    coordinator = ShardCoordinator([(Zero, ()), (Zero, ())], horizon=5.0)
+    with pytest.raises(SimulationError, match="lookahead"):
+        coordinator.run()
+
+
+def test_infinite_default_lookahead_never_windows():
+    assert math.isinf(ShardProgram.lookahead)
