@@ -489,6 +489,13 @@ def _run_qos(args) -> int:
                     "cap": f"{tenant.share_cap:.0%}"
                     if tenant.share_cap is not None
                     else "-",
+                    # Arbitration + elastic-contract traffic: preemptions
+                    # this tenant won/lost at the allocator, borrow
+                    # grants received, reclaim demands issued.
+                    "pre w/l": f"{tenant.preemptions_won}/"
+                    f"{tenant.preemptions_lost}",
+                    "borrows": tenant.borrows,
+                    "reclaims": tenant.reclaims,
                 }
             )
     print(
@@ -549,6 +556,7 @@ def _run_fuzz(args) -> int:
             "schedules": r.schedules,
             "items": r.items,
             "link workloads": r.transfers,
+            "in-place resizes": r.inplace,
             "violations": len(r.violations),
         }
         for r in reports
@@ -557,7 +565,7 @@ def _run_fuzz(args) -> int:
         _rows_table(
             rows,
             f"Migration-layer fuzz - {args.seeds} seed(s): LPT scheduling "
-            "invariants + fair-share link physics",
+            "invariants + fair-share link physics + in-place resize deltas",
         )
     )
     if _report_violations(

@@ -24,6 +24,19 @@ adds two class-aware rules on top, both inert until enabled:
 * **per-tenant share caps** — a tenant may hold at most its configured
   fraction of total fleet GPU memory, enforced on every reservation and
   resize, so no tenant (any class) can monopolise a scarce cluster.
+
+Elastic share contracts (opt-in via
+:meth:`GPUAllocator.enable_elastic_shares`, on top of arbitration) turn
+the static caps into borrowable contracts: a capped tenant may exceed its
+cap into another capped tenant's *idle* headroom, tracked byte-for-byte
+in a borrow ledger.  The ledger is **derived** from the tenant books —
+after every booking it is reconciled so each borrower's ledger sum equals
+its overage above cap — which makes "every borrowed byte is returned by
+quiesce" hold by construction.  When a lender wants its headroom back
+(its own demand grows, or a placement for it fails while bytes are lent
+out) the allocator issues a :class:`ReclaimDemand` and asks borrowers —
+largest debt first — to shed their excess; the auditor holds open
+demands to a bounded reclamation latency.
 """
 
 from __future__ import annotations
@@ -98,6 +111,10 @@ class PendingClaim:
     reservations: list[StageReservation]
     cancel: Callable[[], None]
     state: str = "pending"  # "pending" | "active" | "released" | "preempted"
+    # "deploy" for loading replicas; "prepared-chain" for an inflight
+    # refactoring's prepared (not-yet-switched) target chain, whose cancel
+    # rolls the executor back to the still-serving old chain.
+    kind: str = "deploy"
 
 
 @dataclass(frozen=True)
@@ -115,6 +132,23 @@ class PreemptionRecord:
     claimant_priority: int
     claim: PendingClaim
     reservations: tuple[StageReservation, ...] = field(default_factory=tuple)
+
+
+@dataclass
+class ReclaimDemand:
+    """A lender's standing request for its lent-out headroom back.
+
+    Open (``resolved_at is None``) until the lender's lent-out total drops
+    to ``target_lent``; the auditor flags demands that stay open past the
+    allocator's ``reclaim_bound`` — the bounded-reclamation-latency half
+    of the elastic contract.
+    """
+
+    lender: str
+    nbytes: float
+    issued_at: float
+    target_lent: float
+    resolved_at: float | None = None
 
 
 class GPUAllocator:
@@ -140,6 +174,20 @@ class GPUAllocator:
         self.preemptions: list[PreemptionRecord] = []
         self.preempted_deploys = 0
         self._fleet_memory: float | None = None
+        # --- elastic share contracts (inert until enable_elastic_shares) ---
+        self.elastic_shares = False
+        self.reclaim_bound = 60.0
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._reclaim_hook: Callable[[str, float], None] | None = None
+        # borrower -> lender -> bytes currently borrowed.
+        self._borrows: dict[str, dict[str, float]] = {}
+        self.borrow_events: dict[str, int] = {}
+        self.bytes_borrowed: dict[str, float] = {}
+        self.bytes_returned: dict[str, float] = {}
+        self.reclaim_demands: list[ReclaimDemand] = []
+        # Peak bytes a tenant held above cap *beyond* what the ledger
+        # covers — must stay within epsilon (the elastic cap invariant).
+        self.tenant_overage_peak: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # QoS arbitration configuration
@@ -166,6 +214,32 @@ class GPUAllocator:
         self.qos_priority_of = priority_of
         self.share_caps = dict(share_caps or {})
 
+    def enable_elastic_shares(
+        self,
+        *,
+        clock: Callable[[], float],
+        reclaim: Callable[[str, float], None] | None = None,
+        reclaim_bound: float = 60.0,
+    ) -> None:
+        """Turn static share caps into borrowable elastic contracts.
+
+        ``clock`` stamps reclaim demands (simulation time); ``reclaim`` is
+        called as ``reclaim(borrower, nbytes)`` when a lender demands its
+        headroom back — the serving layer drains the borrower's excess
+        replicas; ``reclaim_bound`` is the reclamation-latency bound the
+        auditor enforces on open demands.  Until this runs every elastic
+        hook is inert and cap enforcement is byte-identical to the static
+        behaviour.
+        """
+        self.elastic_shares = True
+        self._clock = clock
+        self._reclaim_hook = reclaim
+        self.reclaim_bound = float(reclaim_bound)
+        # Caps may be installed after the fleet settled: reconcile the
+        # ledger for any tenant already holding bytes above its cap.
+        for model in list(self.share_caps):
+            self._elastic_book(model)
+
     @property
     def arbitration_enabled(self) -> bool:
         return self.qos_priority_of is not None
@@ -185,13 +259,21 @@ class GPUAllocator:
         return self.tenant_peak.get(model, 0.0) / self.fleet_memory()
 
     def share_headroom(self, model: str) -> float:
-        """Bytes this tenant may still reserve under its cap (inf = uncapped)."""
+        """Bytes this tenant may still reserve under its cap (inf = uncapped).
+
+        With elastic contracts on, headroom includes the idle lendable
+        headroom of every *other* capped tenant — this one call is what
+        makes the autoscaler and ``_share_allows_refactor`` contract-aware.
+        """
         cap = self.share_caps.get(model)
         if cap is None:
             return math.inf
-        return max(
-            cap * self.fleet_memory() - self.tenant_reserved.get(model, 0.0), 0.0
-        )
+        allowed = cap * self.fleet_memory()
+        if self.elastic_shares:
+            allowed += self._borrowed_total(model) + self._total_lendable(
+                exclude=model
+            )
+        return max(allowed - self.tenant_reserved.get(model, 0.0), 0.0)
 
     def _check_share(self, model: str, additional: float) -> None:
         cap = self.share_caps.get(model)
@@ -199,12 +281,27 @@ class GPUAllocator:
             return
         limit = cap * self.fleet_memory()
         held = self.tenant_reserved.get(model, 0.0)
-        if held + additional > limit + _share_eps(limit):
-            raise AllocationError(
-                f"share cap: {model!r} holds {held / 2**30:.1f} GiB and "
-                f"requests {additional / 2**30:.1f} GiB, over its "
-                f"{cap:.0%} cap ({limit / 2**30:.1f} GiB) of fleet memory"
+        if held + additional <= limit + _share_eps(limit):
+            return
+        if self.elastic_shares:
+            # Feasibility only — the ledger commits in _book_tenant, so a
+            # check that is not followed by a booking changes no state.
+            need = held + additional - limit
+            capacity = self._borrowed_total(model) + self._total_lendable(
+                exclude=model
             )
+            if need <= capacity + _share_eps(limit):
+                return
+            raise AllocationError(
+                f"elastic share cap: {model!r} needs {need / 2**30:.1f} GiB "
+                f"above its {cap:.0%} cap but only "
+                f"{capacity / 2**30:.1f} GiB is borrowed or lendable"
+            )
+        raise AllocationError(
+            f"share cap: {model!r} holds {held / 2**30:.1f} GiB and "
+            f"requests {additional / 2**30:.1f} GiB, over its "
+            f"{cap:.0%} cap ({limit / 2**30:.1f} GiB) of fleet memory"
+        )
 
     def _book_tenant(self, model: str, delta: float) -> None:
         total = self.tenant_reserved.get(model, 0.0) + delta
@@ -213,10 +310,181 @@ class GPUAllocator:
         # threshold keys off the tenant's high-water mark.
         if total <= _share_eps(self.tenant_peak.get(model, 0.0)):
             self.tenant_reserved.pop(model, None)
+        else:
+            self.tenant_reserved[model] = total
+            if total > self.tenant_peak.get(model, 0.0):
+                self.tenant_peak[model] = total
+        if self.elastic_shares:
+            self._elastic_book(model)
+
+    # ------------------------------------------------------------------
+    # Elastic borrow ledger (derived from the tenant books)
+    # ------------------------------------------------------------------
+    def _limit_of(self, model: str) -> float | None:
+        cap = self.share_caps.get(model)
+        return None if cap is None else cap * self.fleet_memory()
+
+    def _borrowed_total(self, model: str) -> float:
+        return sum(self._borrows.get(model, {}).values())
+
+    def _lent_out(self, model: str) -> float:
+        return sum(
+            debts.get(model, 0.0) for debts in self._borrows.values()
+        )
+
+    def _lendable(self, model: str) -> float:
+        """Idle headroom this capped tenant can lend right now."""
+        limit = self._limit_of(model)
+        if limit is None:
+            return 0.0  # uncapped tenants have no contract to lend from
+        own = self.tenant_reserved.get(model, 0.0) - self._borrowed_total(model)
+        return max(limit - own - self._lent_out(model), 0.0)
+
+    def _total_lendable(self, *, exclude: str) -> float:
+        return sum(
+            self._lendable(m) for m in self.share_caps if m != exclude
+        )
+
+    def _elastic_book(self, model: str) -> None:
+        """Reconcile the ledger after ``model``'s books changed.
+
+        Borrower side: the ledger sum is kept equal to the tenant's
+        overage above cap (borrow on growth, return on release), so a
+        tenant whose reservations all drain necessarily returns every
+        borrowed byte.  Lender side: if this tenant's own demand now
+        collides with bytes it has lent out, a reclaim demand is issued.
+        """
+        limit = self._limit_of(model)
+        if limit is not None:
+            reserved = self.tenant_reserved.get(model, 0.0)
+            eps = _share_eps(max(limit, reserved))
+            overage = max(reserved - limit, 0.0)
+            current = self._borrowed_total(model)
+            if overage > current + eps:
+                self._borrow(model, overage - current)
+            elif current > overage + eps:
+                self._return(model, current - overage)
+            uncovered = reserved - limit - self._borrowed_total(model)
+            if uncovered > self.tenant_overage_peak.get(model, 0.0):
+                self.tenant_overage_peak[model] = uncovered
+            own = reserved - self._borrowed_total(model)
+            lent = self._lent_out(model)
+            if lent > 0 and own + lent > limit + eps:
+                self._demand_reclaim(model, own + lent - limit)
+        self._settle_demands()
+
+    def _borrow(self, borrower: str, need: float) -> None:
+        # Largest idle headroom first (name-ordered tiebreak keeps the
+        # lender choice deterministic across runs).
+        lenders = sorted(
+            (m for m in self.share_caps if m != borrower),
+            key=lambda m: (-self._lendable(m), m),
+        )
+        debts = self._borrows.setdefault(borrower, {})
+        took_any = False
+        for lender in lenders:
+            if need <= _SHARE_EPS:
+                break
+            take = min(self._lendable(lender), need)
+            if take <= 0.0:
+                continue
+            debts[lender] = debts.get(lender, 0.0) + take
+            self.bytes_borrowed[borrower] = (
+                self.bytes_borrowed.get(borrower, 0.0) + take
+            )
+            need -= take
+            took_any = True
+        if took_any:
+            self.borrow_events[borrower] = (
+                self.borrow_events.get(borrower, 0) + 1
+            )
+        if need > _SHARE_EPS and lenders:
+            # Shortfall (feasibility was vetted before booking, so this
+            # means headroom vanished between check and book — e.g. caps
+            # installed over an already-over-cap fleet).  Attribute the
+            # debt to the largest-cap lender and press it for the bytes;
+            # tenant_overage_peak is the auditor's backstop if even that
+            # lender cannot cover it.
+            fallback = max(
+                lenders, key=lambda m: (self.share_caps[m], m)
+            )
+            debts[fallback] = debts.get(fallback, 0.0) + need
+            self.bytes_borrowed[borrower] = (
+                self.bytes_borrowed.get(borrower, 0.0) + need
+            )
+            self._demand_reclaim(fallback, need)
+        if not debts:
+            self._borrows.pop(borrower, None)
+
+    def _return(self, borrower: str, amount: float) -> None:
+        debts = self._borrows.get(borrower, {})
+        # Pressed lenders (an open reclaim demand) are repaid first, then
+        # largest debt first.
+        pressed = {
+            d.lender for d in self.reclaim_demands if d.resolved_at is None
+        }
+        order = sorted(
+            debts,
+            key=lambda m: (m not in pressed, -debts[m], m),
+        )
+        for lender in order:
+            if amount <= 0.0:
+                break
+            give = min(debts[lender], amount)
+            debts[lender] -= give
+            if debts[lender] <= _SHARE_EPS:
+                del debts[lender]
+            self.bytes_returned[borrower] = (
+                self.bytes_returned.get(borrower, 0.0) + give
+            )
+            amount -= give
+        if not debts:
+            self._borrows.pop(borrower, None)
+
+    def _demand_reclaim(self, lender: str, nbytes: float) -> None:
+        if any(
+            d.resolved_at is None and d.lender == lender
+            for d in self.reclaim_demands
+        ):
+            return  # already pressing this lender's borrowers
+        lent = self._lent_out(lender)
+        if lent <= _SHARE_EPS:
             return
-        self.tenant_reserved[model] = total
-        if total > self.tenant_peak.get(model, 0.0):
-            self.tenant_peak[model] = total
+        nbytes = min(nbytes, lent)
+        demand = ReclaimDemand(
+            lender=lender,
+            nbytes=nbytes,
+            issued_at=self._clock(),
+            target_lent=max(lent - nbytes, 0.0),
+        )
+        self.reclaim_demands.append(demand)
+        if self._reclaim_hook is not None:
+            owed = sorted(
+                (
+                    (debts.get(lender, 0.0), borrower)
+                    for borrower, debts in self._borrows.items()
+                    if debts.get(lender, 0.0) > 0.0
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            remaining = nbytes
+            for debt, borrower in owed:
+                if remaining <= 0.0:
+                    break
+                ask = min(debt, remaining)
+                self._reclaim_hook(borrower, ask)
+                remaining -= ask
+
+    def _settle_demands(self) -> None:
+        for demand in self.reclaim_demands:
+            if demand.resolved_at is None and (
+                self._lent_out(demand.lender)
+                <= demand.target_lent + _share_eps(demand.nbytes)
+            ):
+                demand.resolved_at = self._clock()
+
+    def open_reclaim_demands(self) -> list[ReclaimDemand]:
+        return [d for d in self.reclaim_demands if d.resolved_at is None]
 
     # ------------------------------------------------------------------
     # Pending-deploy claims (the preempt-or-wait surface)
@@ -228,16 +496,24 @@ class GPUAllocator:
         cancel: Callable[[], None],
         *,
         priority: int | None = None,
+        kind: str = "deploy",
     ) -> PendingClaim | None:
         """Track a loading deploy as preemptible; no-op while arbitration
         is off (returns ``None``).  The factory resolves the claim via
-        :meth:`claim_resolved` when the replica activates or tears down."""
+        :meth:`claim_resolved` when the replica activates or tears down.
+        ``kind="prepared-chain"`` marks an inflight refactoring's prepared
+        target chain (cancel rolls back to the still-serving old chain)."""
         if priority is None:
             if self.qos_priority_of is None:
                 return None
             priority = int(self.qos_priority_of(model))
         claim = PendingClaim(
-            next(self._claim_counter), model, priority, list(reservations), cancel
+            next(self._claim_counter),
+            model,
+            priority,
+            list(reservations),
+            cancel,
+            kind=kind,
         )
         self._pending_claims[claim.claim_id] = claim
         return claim
@@ -371,12 +647,32 @@ class GPUAllocator:
         except AllocationError:
             if priority is None:
                 self.failed_requests += 1
+                self._press_lenders_on_failure(model, sum(mem_per_stage))
                 raise
-            reservations = self._place_with_preemption(
-                model, mem_per_stage, scorer, exclude, priority
-            )
+            try:
+                reservations = self._place_with_preemption(
+                    model, mem_per_stage, scorer, exclude, priority
+                )
+            except AllocationError:
+                self._press_lenders_on_failure(model, sum(mem_per_stage))
+                raise
         self.granted_requests += 1
+        if self.elastic_shares:
+            # The lender got what it wanted — its open demand (if any) is
+            # moot regardless of how much is still lent out.
+            for demand in self.reclaim_demands:
+                if demand.resolved_at is None and demand.lender == model:
+                    demand.resolved_at = self._clock()
         return reservations
+
+    def _press_lenders_on_failure(self, model: str, nbytes: float) -> None:
+        """A lender that cannot place while its headroom is lent out gets
+        a reclaim demand: borrowers shed excess, the caller retries on its
+        next control tick."""
+        if not self.elastic_shares:
+            return
+        if self._lent_out(model) > _SHARE_EPS:
+            self._demand_reclaim(model, nbytes)
 
     def _place_stages(
         self,

@@ -241,10 +241,21 @@ class FlexPipeSystem(ServingSystem):
                 lambda n=name, c=slo_class: self.qos_tracker.pressure(n, c)
             )
             # Share-cap awareness: the autoscaler only asks for replicas
-            # the tenant's remaining headroom can host.
+            # the tenant's remaining headroom can host.  With elastic
+            # contracts on, share_headroom already includes borrowable
+            # idle headroom, so the same hook becomes contract-aware.
             state.autoscaler.share_headroom = (
                 lambda n=name: self.ctx.allocator.share_headroom(n)
             )
+        if kwargs.get("elastic"):
+            # Elastic mode arms the transition-machinery extensions too:
+            # in-place resize/merge on live replicas (chosen per
+            # transition by the executor's cost model) and preemptible
+            # prepared-chain claims, so arbitration can cancel a
+            # lower-class tenant's in-flight preparation.
+            for state in self._models.values():
+                state.executor.enable_inplace = True
+                state.executor.preemptible_claims = True
 
     def _qos_ordered_states(self) -> list[_ModelState]:
         """Control-loop visit order: most urgent tenant first under QoS."""
@@ -311,6 +322,12 @@ class FlexPipeSystem(ServingSystem):
         headroom = self.ctx.allocator.share_headroom(state.spec.name)
         if math.isinf(headroom):
             return True
+        if state.executor.enable_inplace:
+            # In-place transitions only need the parameter/KV *delta*;
+            # the executor's prepare does the real byte-level checks (and
+            # falls back between modes), so a cap that cannot host a full
+            # prepared chain no longer vetoes the attempt up front.
+            return True
         plan = state.ladder.plan(state.current_stages)
         start = max(min(plan.max_batch, self.batch_cap or plan.max_batch), 1)
         floor = max(min(start, DEGRADE_FLOOR), 1)
@@ -343,3 +360,8 @@ class FlexPipeSystem(ServingSystem):
             name: state.executor.transitions_completed
             for name, state in self._models.items()
         }
+
+    def executors(self) -> dict[str, RefactoringExecutor]:
+        """Per-model refactoring executors (the auditor reads their
+        switched/aborted tokens and in-place spans)."""
+        return {name: state.executor for name, state in self._models.items()}

@@ -90,6 +90,7 @@ class ServingSystem(abc.ABC):
         aging: float | None = 10.0,
         attainment_window: float = 30.0,
         share_caps: dict[str, float] | None = None,
+        elastic: bool = False,
     ) -> None:
         """Turn on the per-tenant QoS control plane.
 
@@ -138,6 +139,15 @@ class ServingSystem(abc.ABC):
             lambda model: self.qos_class_of(model).priority,
             share_caps=share_caps,
         )
+        if elastic:
+            # Elastic share contracts: caps become borrowable — a tenant
+            # may exceed its cap into another capped tenant's idle
+            # headroom, and a lender wanting its headroom back triggers
+            # this system's reclaim hook (borrower excess drains first).
+            self.ctx.allocator.enable_elastic_shares(
+                clock=lambda: self.sim.now,
+                reclaim=self._reclaim_borrower_excess,
+            )
         # Class-priority batch formation inside the replica, mirroring the
         # router's priority queue: mixed-class traffic on one model meets
         # FIFO nowhere between admission and the GPU.
@@ -155,6 +165,40 @@ class ServingSystem(abc.ABC):
     def qos_class_of(self, model: str) -> SLOClass:
         """The tenant's SLO class (``standard`` when unannotated)."""
         return self.qos_classes.get(model, SLO_CLASSES[DEFAULT_CLASS])
+
+    def _reclaim_borrower_excess(self, borrower: str, nbytes: float) -> None:
+        """Elastic-contract reclaim: shed ``nbytes`` of a borrower's excess.
+
+        Cheapest capacity goes first — still-loading deploys are cancelled
+        (no served work lost), then the youngest ACTIVE replicas drain.
+        Replicas already DRAINING count toward the demand (their bytes are
+        on the way back), so a repeated demand never over-sheds.  Releases
+        flow through the normal teardown path as in-flight work finishes,
+        which is what bounds reclamation latency to the drain time.
+        """
+        remaining = nbytes
+        loading, active = [], []
+        for replica in self.all_replicas():
+            if replica.profile.spec.name != borrower:
+                continue
+            live = sum(r.nbytes for r in replica.live_reservations())
+            if replica.state is ReplicaState.DRAINING:
+                remaining -= live
+            elif replica.state is ReplicaState.LOADING:
+                loading.append((replica, live))
+            elif replica.state is ReplicaState.ACTIVE:
+                active.append((replica, live))
+        loading.sort(key=lambda pair: pair[0].created_at, reverse=True)
+        active.sort(key=lambda pair: pair[0].activated_at or 0.0, reverse=True)
+        factory = getattr(self, "factory", None)
+        for replica, live in loading + active:
+            if remaining <= 0.0:
+                break
+            if factory is not None:
+                factory.release(replica)
+            else:
+                replica.drain()
+            remaining -= live
 
     # ------------------------------------------------------------------
     def all_routers(self) -> dict[str, ModelRouter]:

@@ -52,6 +52,12 @@ class RunSummary:
     # Goodput over *everything offered* (sheds count as misses); the
     # plain goodput_rate above is goodput over admitted work only.
     slo_attainment: float = 0.0
+    # Arbitration / elastic-contract traffic for this tenant (zeros when
+    # the control plane or elastic contracts are off).
+    preemptions_won: int = 0
+    preemptions_lost: int = 0
+    borrows: int = 0
+    reclaims: int = 0
 
 
 class MetricsCollector:

@@ -111,6 +111,7 @@ class PipelineReplica:
         self._retired_chain_keys: set[int] = set()
         self.on_stage_retired: Callable[[StageRuntime], None] | None = None
         self.reconfig_count = 0
+        self.inplace_swaps = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -437,6 +438,32 @@ class PipelineReplica:
             self._retire_chain(old_key)
         self.batcher.pump()
         return old_stages
+
+    def swap_stages_inplace(
+        self,
+        new_plan: PartitionPlan,
+        new_reservations: list[StageReservation],
+        *,
+        batch_cap: int | None = None,
+    ) -> list[StageRuntime]:
+        """Live in-place reconfiguration entry point.
+
+        Like :meth:`swap_stages`, but the new chain may *share*
+        ``StageReservation`` objects with the retiring chain (the
+        refactoring executor grows them for the co-residency window and
+        trims them back when the old stage retires), and the replica must
+        be strictly ACTIVE — an in-place transition mutates the serving
+        chain, so it never touches a loading or dying replica (the
+        no-service-gap contract the auditor checks against the executor's
+        recorded in-place spans).  Queued requests, enqueue times, and
+        every batching counter carry across untouched.
+        """
+        if self.state is not ReplicaState.ACTIVE:
+            raise RuntimeError(
+                f"swap_stages_inplace on a {self.state.value} replica"
+            )
+        self.inplace_swaps += 1
+        return self.swap_stages(new_plan, new_reservations, batch_cap=batch_cap)
 
     def _retire_chain(self, chain_key: int) -> None:
         stages = self._chains.pop(chain_key, None)

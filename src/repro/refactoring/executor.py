@@ -17,14 +17,31 @@ Transition between ladder rungs without pausing service:
 The Eq. 10 consistency protocol is exercised for a representative request
 on every migration (snapshot -> decode continues -> delta sync) and the
 invariant is asserted.
+
+Two opt-in extensions (both inert until their flag is set):
+
+* **In-place transitions** (``enable_inplace``) — following PipeLive,
+  a transition whose target stages mostly survive on their current GPUs
+  resizes the *live* reservations in place instead of standing up a full
+  second chain: only the parameter/KV delta moves, reused devices hold
+  old + delta (not old + full new stage), and unchanged stages serve
+  throughout.  A cost model picks in-place vs. chain per transition from
+  the delta bytes, the tenant's share headroom, and disturbance risk.
+* **Preemptible prepared claims** (``preemptible_claims``) — the
+  prepared chain registers as a first-class ``PendingClaim`` with the
+  allocator, so QoS preempt-or-wait can cancel a lower-class tenant's
+  in-flight preparation; the executor rolls back to the still-serving
+  old chain through the normal exactly-once release path.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.cluster.allocator import (
     AllocationError,
+    PendingClaim,
     StageReservation,
     degrade_until_fit,
 )
@@ -51,10 +68,96 @@ class TransitionPlan:
     # Batch the target chain was sized for; under memory degradation this
     # is below the rung's max_batch and becomes the post-switch batch cap.
     batch: int
+    # Prepared-chain claim (preemptible-claims mode) and a unique token
+    # the auditor uses to assert switched/aborted disjointness.
+    claim: PendingClaim | None = None
+    token: int = 0
 
     @property
     def duration(self) -> float:
         return max(self.load_duration, self.kv_duration)
+
+
+@dataclass
+class InPlaceTransition:
+    """A live transition that mutates the serving chain's reservations.
+
+    Reused stages keep their ``StageReservation`` object — grown by the
+    parameter/KV delta for the co-residency window and shrunk back to the
+    target footprint when the old chain retires — so the replica never
+    holds a second full copy of the pipeline.  ``fresh`` lists the stages
+    that could not survive in place and were allocated normally.
+    """
+
+    target_stages: int
+    reservations: list[StageReservation]
+    # (reservation, bytes before the transition, target bytes) per reused
+    # stage; rollback restores the first, retirement shrinks to the second.
+    resized: list[tuple[StageReservation, float, float]]
+    fresh: list[StageReservation]
+    load_duration: float
+    kv_duration: float
+    kv_bytes: float
+    delta_bytes: float
+    reused_gpus: int
+    fresh_gpus: int
+    batch: int
+    started_at: float = 0.0
+    claim: PendingClaim | None = None
+    token: int = 0
+
+    @property
+    def duration(self) -> float:
+        return max(self.load_duration, self.kv_duration)
+
+
+def plan_inplace_delta(
+    old_groups: list[tuple[int, int]],
+    new_groups: list[tuple[int, int]],
+    unit_param_bytes: list[float],
+    unit_kv_bytes: list[float],
+) -> list[dict]:
+    """Pure in-place planning math over a fine-stage lattice.
+
+    ``old_groups``/``new_groups`` are ``(first_fine, last_fine_exclusive)``
+    spans; the byte vectors are per fine unit.  Returns one dict per new
+    stage: whether it reuses its leading owner's device, the parameter
+    bytes that must move (the delta beyond what is already resident), and
+    the KV bytes that change devices.  The executor and the migration
+    fuzzer share this function, so the fuzzer exercises exactly the
+    delta rule the executor plans with.
+    """
+    fine_owner: dict[int, int] = {}
+    for j, (lo, hi) in enumerate(old_groups):
+        for f in range(lo, hi):
+            fine_owner[f] = j
+    claimed: set[int] = set()
+    out: list[dict] = []
+    for lo, hi in new_groups:
+        owner = fine_owner[lo]
+        owner_group = old_groups[owner]
+        reused = owner_group[0] == lo and owner not in claimed
+        new_params = float(sum(unit_param_bytes[lo:hi]))
+        stage_kv = float(sum(unit_kv_bytes[lo:hi]))
+        if reused:
+            claimed.add(owner)
+            stay_hi = min(hi, owner_group[1])
+            resident = float(sum(unit_param_bytes[lo:stay_hi]))
+            kv_stays = float(sum(unit_kv_bytes[lo:stay_hi]))
+        else:
+            resident = 0.0
+            kv_stays = 0.0
+        out.append(
+            {
+                "reused": reused,
+                "owner": owner,
+                "resident_param_bytes": resident,
+                "param_delta_bytes": max(new_params - resident, 0.0),
+                "kv_moved_bytes": max(stage_kv - kv_stays, 0.0),
+                "kv_total_bytes": stage_kv,
+            }
+        )
+    return out
 
 
 class RefactoringExecutor:
@@ -88,7 +191,21 @@ class RefactoringExecutor:
         # In-flight transitions by replica name; kept so a platform
         # reclamation can abort them (and free their prepared
         # reservations) the moment a victim GPU is cordoned.
-        self._transitions: dict[str, tuple[PipelineReplica, TransitionPlan, object]] = {}
+        self._transitions: dict[str, tuple[PipelineReplica, object, object]] = {}
+        # --- opt-in extensions (inert until armed) ---
+        self.enable_inplace = False
+        self.preemptible_claims = False
+        self.transitions_inplace = 0
+        self.transitions_chain = 0
+        self._token_counter = itertools.count(1)
+        # Auditor evidence: a cancelled preparation must never switch in.
+        self.switched_tokens: set[int] = set()
+        self.aborted_tokens: set[int] = set()
+        # (replica, start, end) per completed in-place transition — the
+        # auditor asserts the replica never left ACTIVE inside the span.
+        self.inplace_spans: list[tuple[PipelineReplica, float, float]] = []
+        # Shared reservations awaiting their post-retirement trim.
+        self._shrink_to: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def refactoring(self, replica: PipelineReplica) -> bool:
@@ -102,10 +219,19 @@ class RefactoringExecutor:
             return False
         if target_stages == replica.plan.n_stages:
             return False
-        try:
-            plan = self._prepare(replica, target_stages)
-        except AllocationError:
+        plan = None
+        for mode in self._mode_attempts(replica, target_stages):
+            try:
+                if mode == "inplace":
+                    plan = self._prepare_inplace(replica, target_stages)
+                else:
+                    plan = self._prepare(replica, target_stages)
+                break
+            except AllocationError:
+                continue
+        if plan is None:
             return False
+        plan.token = next(self._token_counter)
         self._inflight.add(replica.name)
         self.transitions_started += 1
         # Decision latency, then the asynchronous preparation window (old
@@ -113,7 +239,109 @@ class RefactoringExecutor:
         total = self.decision_latency + plan.duration + self.switch_pause
         event = self.ctx.sim.schedule(total, self._switch, replica, plan)
         self._transitions[replica.name] = (replica, plan, event)
+        self._register_claim(replica, plan)
         return True
+
+    def _mode_attempts(
+        self, replica: PipelineReplica, target_stages: int
+    ) -> tuple[str, ...]:
+        """Preferred mode first; with in-place armed the other mode is the
+        fallback when preparation cannot place."""
+        if not self.enable_inplace:
+            return ("chain",)
+        mode = self._choose_mode(replica, target_stages)
+        return (mode, "inplace" if mode == "chain" else "chain")
+
+    def _choose_mode(self, replica: PipelineReplica, target_stages: int) -> str:
+        """Cost-model choice between in-place and prepared-chain.
+
+        Inputs: the transient byte cost of each mode (in-place pays only
+        the delta on surviving devices; chain pays a full second copy),
+        the tenant's share headroom (a chain that cannot fit under the
+        cap forces in-place), and disturbance risk (in-place mutates the
+        serving chain's reservations, so it must buy a real byte saving
+        when plenty of KV is in flight).
+        """
+        est = self._estimate_modes(replica, target_stages)
+        if est is None:
+            return "chain"
+        inplace_bytes, chain_bytes, reuse_frac = est
+        if reuse_frac <= 0.0:
+            return "chain"  # nothing survives: in-place degenerates to a chain
+        headroom = self.ctx.allocator.share_headroom(self.profile.spec.name)
+        if headroom < chain_bytes:
+            return "inplace"
+        total_params = max(self.profile.graph.param_bytes(0, None), 1.0)
+        risk = min(replica.kv_bytes_in_flight() / total_params, 1.0)
+        return "inplace" if inplace_bytes * (1.0 + risk) < chain_bytes else "chain"
+
+    def _estimate_modes(
+        self, replica: PipelineReplica, target_stages: int
+    ) -> tuple[float, float, float] | None:
+        """(in-place transient bytes, chain transient bytes, reuse fraction)
+        for the full-batch target — estimated without reserving anything."""
+        old_rung = self.ladder.rung(replica.plan.n_stages)
+        new_rung = self.ladder.rung(target_stages)
+        new_plan = new_rung.plan
+        batch = max(
+            min(new_plan.max_batch, self.batch_cap or new_plan.max_batch), 1
+        )
+        mems = new_plan.memory_per_stage(
+            batch, self.profile.spec.kv_bytes_per_request
+        )
+        fine_owner: dict[int, int] = {}
+        for j, (lo, hi) in enumerate(old_rung.groups):
+            for f in range(lo, hi):
+                fine_owner[f] = j
+        claimed: set[int] = set()
+        inplace_bytes = 0.0
+        reused = 0
+        for k, (lo, hi) in enumerate(new_rung.groups):
+            owner = fine_owner[lo]
+            owner_group = old_rung.groups[owner]
+            if owner_group[0] == lo and owner not in claimed:
+                claimed.add(owner)
+                reused += 1
+                stage_plan = new_plan.stages[k]
+                owner_plan = replica.stages[owner].plan
+                resident_lo = max(stage_plan.start, owner_plan.start)
+                resident_hi = min(stage_plan.end, owner_plan.end)
+                resident = (
+                    self.profile.graph.param_bytes(resident_lo, resident_hi)
+                    if resident_lo < resident_hi
+                    else 0.0
+                )
+                inplace_bytes += max(mems[k] - resident, 0.0)
+            else:
+                inplace_bytes += mems[k]
+        chain_bytes = float(sum(mems))
+        return inplace_bytes, chain_bytes, reused / max(len(new_rung.groups), 1)
+
+    def _register_claim(self, replica: PipelineReplica, plan) -> None:
+        """Register the preparation as a preemptible prepared-chain claim.
+
+        Only the bytes a preemption could actually free are claimed: the
+        whole prepared chain for a chain transition, the fresh stages for
+        an in-place one (the shared reservations back the serving chain
+        and are never preemptible).
+        """
+        if not self.preemptible_claims:
+            return
+        preemptible = (
+            plan.fresh
+            if isinstance(plan, InPlaceTransition)
+            else plan.reservations
+        )
+        if not preemptible:
+            return
+        plan.claim = self.ctx.allocator.register_pending_deploy(
+            self.profile.spec.name,
+            preemptible,
+            cancel=lambda n=replica.name, t=plan.token: self._abort_transition(
+                n, "(preempted)", token=t
+            ),
+            kind="prepared-chain",
+        )
 
     # ------------------------------------------------------------------
     def abort_on_cordon(self, gpu) -> int:
@@ -128,26 +356,60 @@ class RefactoringExecutor:
         Returns the number of transitions aborted.
         """
         aborted = 0
-        for name, (replica, plan, event) in list(self._transitions.items()):
+        for name, (_replica, plan, _event) in list(self._transitions.items()):
             if not any(r.gpu is gpu for r in plan.reservations):
                 continue
-            event.cancel()
+            if self._abort_transition(name, f"(reclaimed {gpu.gid})"):
+                aborted += 1
+        return aborted
+
+    def _abort_transition(
+        self, name: str, why: str, *, token: int | None = None
+    ) -> bool:
+        """Cancel an in-flight transition and roll back its preparation.
+
+        Shared by reclamation (cordon) and prepared-claim preemption;
+        ``token`` guards a stale preemption cancel against a newer
+        transition that reused the replica name.
+        """
+        entry = self._transitions.get(name)
+        if entry is None:
+            return False
+        replica, plan, event = entry
+        if token is not None and plan.token != token:
+            return False
+        del self._transitions[name]
+        event.cancel()
+        # Resolving is a no-op for a preempted claim (its state must stay
+        # "preempted" for the auditor) and for claim=None.
+        self.ctx.allocator.claim_resolved(plan.claim, activated=False)
+        self._rollback(plan)
+        self._inflight.discard(name)
+        self.transitions_aborted += 1
+        if plan.token:
+            self.aborted_tokens.add(plan.token)
+        self.metrics.on_event(
+            ScalingEvent(
+                time=self.ctx.sim.now,
+                kind="refactor_aborted",
+                detail=f"{replica.name} -> {plan.target_stages} stages {why}",
+            )
+        )
+        return True
+
+    def _rollback(self, plan) -> None:
+        """Return a preparation's resources; the old chain keeps serving."""
+        if isinstance(plan, InPlaceTransition):
+            for reservation in plan.fresh:
+                if not reservation.released:
+                    self.ctx.allocator.release(reservation)
+            for reservation, old_bytes, _final in plan.resized:
+                if not reservation.released and reservation.nbytes > old_bytes:
+                    self.ctx.allocator.resize(reservation, old_bytes)
+        else:
             for reservation in plan.reservations:
                 if not reservation.released:
                     self.ctx.allocator.release(reservation)
-            del self._transitions[name]
-            self._inflight.discard(name)
-            self.transitions_aborted += 1
-            aborted += 1
-            self.metrics.on_event(
-                ScalingEvent(
-                    time=self.ctx.sim.now,
-                    kind="refactor_aborted",
-                    detail=f"{replica.name} -> {plan.target_stages} stages "
-                    f"(reclaimed {gpu.gid})",
-                )
-            )
-        return aborted
 
     # ------------------------------------------------------------------
     def _prepare(
@@ -260,6 +522,162 @@ class RefactoringExecutor:
             raise
         return reservations, load_duration, kv_bytes_moving, reused, fresh
 
+    def _prepare_inplace(
+        self, replica: PipelineReplica, target_stages: int
+    ) -> InPlaceTransition:
+        """Plan and reserve an in-place transition (PipeLive-style).
+
+        Surviving stages grow their live reservation by the delta only;
+        stages that cannot survive are allocated fresh.  The old chain
+        serves untouched for the whole preparation window.
+        """
+        mover = self.ctx.data_mover
+        old_rung = self.ladder.rung(replica.plan.n_stages)
+        new_rung = self.ladder.rung(target_stages)
+        new_plan = new_rung.plan
+        batch = max(min(new_plan.max_batch, self.batch_cap or new_plan.max_batch), 1)
+        batch, (reservations, resized, fresh_list, load_duration, kv_moving) = (
+            degrade_until_fit(
+                batch,
+                lambda b: self._reserve_inplace(replica, old_rung, new_rung, b),
+            )
+        )
+        if not resized:
+            # Nothing survived in place — roll back and let the caller
+            # fall through to the chain path, which handles this shape.
+            for reservation in fresh_list:
+                if not reservation.released:
+                    self.ctx.allocator.release(reservation)
+            raise AllocationError(
+                f"in-place transition for {replica.name} reuses no stage"
+            )
+        kv_plan = mover.plan(
+            kv_moving, same_server=False, src_rdma=True, dst_rdma=True
+        )
+        self._exercise_consistency_protocol(replica)
+        delta_bytes = sum(
+            res.nbytes - old_bytes for res, old_bytes, _final in resized
+        ) + sum(res.nbytes for res in fresh_list)
+        return InPlaceTransition(
+            target_stages=target_stages,
+            reservations=reservations,
+            resized=resized,
+            fresh=fresh_list,
+            load_duration=load_duration,
+            kv_duration=kv_plan.duration if kv_moving > 0 else 0.0,
+            kv_bytes=kv_moving,
+            delta_bytes=delta_bytes,
+            reused_gpus=len(resized),
+            fresh_gpus=len(fresh_list),
+            batch=batch,
+            started_at=self.ctx.sim.now,
+        )
+
+    def _reserve_inplace(
+        self,
+        replica: PipelineReplica,
+        old_rung,
+        new_rung,
+        batch: int,
+    ) -> tuple[
+        list[StageReservation],
+        list[tuple[StageReservation, float, float]],
+        list[StageReservation],
+        float,
+        float,
+    ]:
+        """Grow surviving reservations / allocate the rest; all-or-nothing."""
+        model = self.profile.spec.name
+        new_plan = new_rung.plan
+        mems = new_plan.memory_per_stage(
+            batch, self.profile.spec.kv_bytes_per_request
+        )
+        fine_owner: dict[int, int] = {}
+        for j, (lo, hi) in enumerate(old_rung.groups):
+            for f in range(lo, hi):
+                fine_owner[f] = j
+        old_stage_runtime = {j: replica.stages[j] for j in range(len(replica.stages))}
+
+        reservations: list[StageReservation] = []
+        resized: list[tuple[StageReservation, float, float]] = []
+        fresh_list: list[StageReservation] = []
+        claimed: set[str] = set()
+        load_duration = 0.0
+        kv_bytes_moving = 0.0
+        try:
+            for k, (lo, hi) in enumerate(new_rung.groups):
+                stage_plan = new_plan.stages[k]
+                owner_idx = fine_owner[lo]
+                owner_group = old_rung.groups[owner_idx]
+                owner_stage = old_stage_runtime[owner_idx]
+                gpu = owner_stage.gpu
+                reservation = None
+                live = owner_stage.reservation
+                if (
+                    owner_group[0] == lo
+                    and gpu.gid not in claimed
+                    and not live.released
+                ):
+                    # Survive in place: grow the live reservation by the
+                    # target footprint minus what is already resident
+                    # (old params + old KV stay until the chain retires).
+                    resident_lo = max(stage_plan.start, owner_stage.plan.start)
+                    resident_hi = min(stage_plan.end, owner_stage.plan.end)
+                    resident = (
+                        self.profile.graph.param_bytes(resident_lo, resident_hi)
+                        if resident_lo < resident_hi
+                        else 0.0
+                    )
+                    old_bytes = live.nbytes
+                    grow_to = old_bytes + max(mems[k] - resident, 0.0)
+                    try:
+                        self.ctx.allocator.resize(live, grow_to)
+                    except (AllocationError, ValueError):
+                        # Share cap says no (AllocationError) or the
+                        # device itself cannot hold the delta (the GPU's
+                        # over-commit ValueError): place a fresh stage.
+                        reservation = None
+                    else:
+                        reservation = live
+                        resized.append((live, old_bytes, mems[k]))
+                        claimed.add(gpu.gid)
+                if reservation is None:
+                    exclude = [
+                        r.gpu for r in reservations
+                    ] + [s.gpu for s in replica.stages]
+                    got = self.ctx.allocator.allocate_stages(
+                        model, [mems[k]], exclude=exclude
+                    )
+                    reservation = got[0]
+                    fresh_list.append(reservation)
+                reservations.append(reservation)
+                load_duration = max(
+                    load_duration,
+                    self._stage_load_time(
+                        stage_plan,
+                        reservation,
+                        owner_stage,
+                        reused=reservation is live,
+                    ),
+                )
+                moved_fraction = self._moved_kv_fraction(
+                    lo, hi, owner_group, reservation is live
+                )
+                kv_bytes_moving += (
+                    replica.kv_bytes_in_flight()
+                    * self.profile.kv_fraction(stage_plan.profile)
+                    * moved_fraction
+                )
+        except AllocationError:
+            for reservation in fresh_list:
+                if not reservation.released:
+                    self.ctx.allocator.release(reservation)
+            for reservation, old_bytes, _final in resized:
+                if not reservation.released and reservation.nbytes > old_bytes:
+                    self.ctx.allocator.resize(reservation, old_bytes)
+            raise
+        return reservations, resized, fresh_list, load_duration, kv_bytes_moving
+
     def _stage_load_time(
         self,
         stage_plan,
@@ -324,11 +742,38 @@ class RefactoringExecutor:
         self.consistency_checks += 1
 
     # ------------------------------------------------------------------
-    def _switch(self, replica: PipelineReplica, plan: TransitionPlan) -> None:
+    def _retire_stage(self, stage) -> None:
+        """Release a retired old-chain stage's memory — exactly once.
+
+        A reservation shared with the new chain (in-place transition) is
+        not released: it shrinks to the new stage's target footprint, the
+        old params/KV it carried through the co-residency window going
+        away with the resize.
+        """
+        reservation = stage.reservation
+        final = self._shrink_to.pop(reservation.res_id, None)
+        if reservation.released:
+            return
+        if final is not None:
+            if reservation.nbytes > final:
+                self.ctx.allocator.resize(reservation, final)
+            return
+        if self.warm_cache is not None:
+            self.warm_cache.put(
+                reservation.gpu.server,
+                self.profile.spec.name,
+                stage.plan.start,
+                stage.plan.end,
+                stage.plan.param_bytes,
+                self.ctx.sim.now,
+            )
+        self.ctx.allocator.release(reservation)
+
+    def _switch(self, replica: PipelineReplica, plan) -> None:
         sim = self.ctx.sim
-        model = self.profile.spec.name
         self._inflight.discard(replica.name)
         self._transitions.pop(replica.name, None)
+        inplace = isinstance(plan, InPlaceTransition)
         if replica.state in (ReplicaState.DRAINING, ReplicaState.RELEASED) or any(
             r.gpu.cordoned for r in plan.reservations
         ):
@@ -338,44 +783,50 @@ class RefactoringExecutor:
             # Refactor-vs-reclamation: the platform reclaimed (cordoned) a
             # GPU holding a prepared stage, so swapping would serve from a
             # reclaimed device for its whole downtime.  Either way, give
-            # the prepared reservations straight back instead of swapping.
-            for reservation in plan.reservations:
-                if not reservation.released:
-                    self.ctx.allocator.release(reservation)
+            # the prepared resources straight back instead of swapping.
+            self.ctx.allocator.claim_resolved(plan.claim, activated=False)
+            self._rollback(plan)
             return
+        self.ctx.allocator.claim_resolved(plan.claim, activated=True)
         old_n = replica.plan.n_stages
         new_plan = self.ladder.plan(plan.target_stages)
-
-        def retire(stage) -> None:
-            reservation = stage.reservation
-            if reservation.released:
-                return
-            if self.warm_cache is not None:
-                self.warm_cache.put(
-                    reservation.gpu.server,
-                    model,
-                    stage.plan.start,
-                    stage.plan.end,
-                    stage.plan.param_bytes,
-                    sim.now,
-                )
-            self.ctx.allocator.release(reservation)
-
-        replica.on_stage_retired = retire
+        if inplace:
+            for reservation, _old_bytes, final in plan.resized:
+                self._shrink_to[reservation.res_id] = final
+        replica.on_stage_retired = self._retire_stage
         # The prepared chain only holds KV for ``plan.batch`` requests; a
         # degraded transition therefore also caps the batcher until the
         # next transition re-sizes it.
-        replica.swap_stages(new_plan, plan.reservations, batch_cap=plan.batch)
+        if inplace:
+            replica.swap_stages_inplace(
+                new_plan, plan.reservations, batch_cap=plan.batch
+            )
+        else:
+            replica.swap_stages(new_plan, plan.reservations, batch_cap=plan.batch)
         self.transitions_completed += 1
+        if plan.token:
+            self.switched_tokens.add(plan.token)
+        if inplace:
+            self.transitions_inplace += 1
+            self.inplace_spans.append((replica, plan.started_at, sim.now))
+            detail = (
+                f"{replica.name} {old_n}->{plan.target_stages} in-place "
+                f"(resize {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
+                f"delta {plan.delta_bytes / 2**20:.1f} MiB, "
+                f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
+            )
+        else:
+            self.transitions_chain += 1
+            detail = (
+                f"{replica.name} {old_n}->{plan.target_stages} "
+                f"(reuse {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
+                f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
+            )
         self.metrics.on_event(
             ScalingEvent(
                 time=sim.now,
                 kind="refactor",
-                detail=(
-                    f"{replica.name} {old_n}->{plan.target_stages} "
-                    f"(reuse {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
-                    f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
-                ),
+                detail=detail,
                 # Full client-visible transition latency: the decision,
                 # the asynchronous preparation window, and the switch
                 # pause — matching what ``refactor`` actually scheduled.

@@ -94,6 +94,14 @@ class TenantQoS:
     goodput: int
     gpu_share_peak: float = 0.0
     share_cap: float | None = None
+    # Arbitration and elastic-contract traffic: preemptions this tenant
+    # won (its deploy evicted a lower-class pending claim) / lost (its
+    # own pending claim was evicted), borrow grants it received, and
+    # reclaim demands it issued as a lender.
+    preemptions_won: int = 0
+    preemptions_lost: int = 0
+    borrows: int = 0
+    reclaims: int = 0
 
     @property
     def attainment(self) -> float:
@@ -314,7 +322,11 @@ class ScenarioDriver:
                 for m in spec.models
                 if m.share_cap is not None
             }
-            system.enable_qos(class_map, share_caps=share_caps or None)
+            system.enable_qos(
+                class_map,
+                share_caps=share_caps or None,
+                elastic=spec.elastic,
+            )
             self.gate = build_tenant_controller(
                 system, class_map, cap=int(spec.admission_cap)
             )
@@ -505,6 +517,10 @@ class ScenarioDriver:
                 slo_class=script.slo_class or "",
                 shed=row.shed,
                 slo_attainment=row.attainment,
+                preemptions_won=row.preemptions_won,
+                preemptions_lost=row.preemptions_lost,
+                borrows=row.borrows,
+                reclaims=row.reclaims,
             )
         offered = sum(
             g.offered for gens in self.generators.values() for g in gens
@@ -535,16 +551,27 @@ class ScenarioDriver:
             1 for g in generators for r in g.requests if r.rejected
         )
         allocator = self.system.ctx.allocator
+        model = script.model
         return TenantQoS(
-            model=script.model,
+            model=model,
             slo_class=script.slo_class,
             offered=offered,
             admitted=offered - shed,
             shed=shed,
             completed=summary.completed,
             goodput=summary.goodput,
-            gpu_share_peak=allocator.tenant_peak_share(script.model),
+            gpu_share_peak=allocator.tenant_peak_share(model),
             share_cap=script.share_cap,
+            preemptions_won=sum(
+                1 for p in allocator.preemptions if p.claimant_model == model
+            ),
+            preemptions_lost=sum(
+                1 for p in allocator.preemptions if p.victim_model == model
+            ),
+            borrows=allocator.borrow_events.get(model, 0),
+            reclaims=sum(
+                1 for d in allocator.reclaim_demands if d.lender == model
+            ),
         )
 
     def _model_summary(
@@ -588,7 +615,7 @@ def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
         )
 
 
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 
 def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:

@@ -319,6 +319,61 @@ GPU_CONTENTION = ScenarioSpec(
     admission_cap=96,
 )
 
+ELASTIC_CONTRACTS = ScenarioSpec(
+    name="elastic-contracts",
+    description=(
+        "Elastic share contracts under a refactor in flight: an "
+        "interactive tenant's burst outgrows its own fleet-share cap and "
+        "borrows the capped batch tenant's idle headroom (reclaimed on "
+        "demand when the lender's backlog returns), while FlexPipe's "
+        "executor switches to live in-place transitions and preemptible "
+        "prepared claims (run `repro qos --scenario elastic-contracts` "
+        "for the on/off comparison)."
+    ),
+    cluster="small",
+    initial_replicas=1,
+    elastic=True,
+    models=(
+        ModelScript(
+            "LLAMA2-7B",
+            slo_class="interactive",
+            share_cap=0.10,
+            segments=(
+                ArrivalSegment("steady", start=0.0, duration=60.0, qps=4.0, cv=2.0),
+                ArrivalSegment(  # the burst that overflows the cap
+                    "burst", start=14.0, duration=34.0, qps=9.0, cv=6.0
+                ),
+            ),
+        ),
+        ModelScript(
+            "BERT-21B",
+            slo_class="batch",
+            share_cap=0.45,
+            segments=(
+                # The lender's day: busy, then idle through the
+                # interactive burst (the headroom being borrowed), then
+                # back — its returning backlog is what forces the
+                # bounded-latency reclaim of the borrowed bytes.
+                ArrivalSegment("steady", start=0.0, duration=14.0, qps=10.0),
+                ArrivalSegment("steady", start=14.0, duration=32.0, qps=1.5),
+                ArrivalSegment("steady", start=46.0, duration=14.0, qps=9.0),
+            ),
+        ),
+    ),
+    events=(
+        ScenarioEvent(at=10.0, action="reclaim"),
+        # Refactors in flight while the burst borrows: the executor's
+        # in-place path must resize live stages as shares stretch.
+        ScenarioEvent(at=16.0, action="refactor", model="LLAMA2-7B"),
+        ScenarioEvent(at=18.0, action="reclaim", count=2),
+        ScenarioEvent(at=26.0, action="reclaim"),
+        ScenarioEvent(at=30.0, action="refactor", model="LLAMA2-7B"),
+        ScenarioEvent(at=36.0, action="reclaim", count=2),
+    ),
+    downtime_mean=5.0,
+    admission_cap=96,
+)
+
 AZURE_REPLAY = ScenarioSpec(
     name="azure-replay",
     description=(
@@ -362,6 +417,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         DIURNAL_DRIFT,
         PRIORITY_INVERSION,
         GPU_CONTENTION,
+        ELASTIC_CONTRACTS,
         AZURE_REPLAY,
     )
 }

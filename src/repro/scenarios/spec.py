@@ -235,6 +235,11 @@ class ScenarioSpec:
     # attainment-driven scaling) — so on-vs-off is an apples-to-apples
     # policy comparison over identical traffic.
     qos: str = "auto"
+    # Elastic share contracts: per-tenant caps become borrowable — a
+    # tenant may exceed its cap into another capped tenant's idle
+    # headroom (reclaimed on demand), and FlexPipe's refactor executor
+    # unlocks live in-place transitions.  Only meaningful with QoS on.
+    elastic: bool = False
     # Floor on the traffic window.  Shard partitioning replaces a parent
     # scenario with per-shard sub-specs whose own segments/events may end
     # earlier; padding every sub-spec to the parent's duration keeps the

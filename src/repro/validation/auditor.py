@@ -37,11 +37,28 @@ reduces to):
 ``share-cap``
     A tenant with a configured GPU share cap never reserves — not even
     transiently (the high-water mark is checked too) — more than its
-    fraction of fleet GPU memory.
+    fraction of fleet GPU memory.  Under *elastic* contracts the bound
+    loosens to cap + currently-borrowed bytes (the strict accounting
+    moves to ``borrow-accounting``).
+``borrow-accounting`` / ``borrow-reclaim-latency``
+    Elastic contracts only: every borrower's ledger sum equals its
+    overage above cap (so every borrowed byte is returned by quiesce —
+    at quiesce the ledger is empty and per-tenant borrowed == returned
+    totals), no tenant ever exceeded its cap beyond the ledger, an
+    over-committed lender always has an open reclaim demand, and no
+    demand stays open past the allocator's reclamation-latency bound.
 ``preemption-accounting``
     Every preempted pending deploy stays preempted (it never serves) and
     released all of its reservations exactly once; at quiesce no pending
-    claim is still registered with the allocator.
+    claim is still registered with the allocator.  Prepared-chain claims
+    (an inflight refactoring's not-yet-switched target) are held to the
+    same rules.
+``prepared-claim``
+    No refactor transition both switched in and was aborted — a
+    cancelled preparation never serves.
+``inplace-service-gap``
+    A replica undergoing an in-place transition never left ACTIVE
+    between the transition's start and its switch (no service gap).
 ``allocator-empty``
     After shutdown + quiesce the allocator holds no live reservation and
     no GPU carries a stage allocation (no leaked reservations).
@@ -131,6 +148,7 @@ class InvariantAuditor:
         out += self._check_memory_accounting()
         out += self._check_anomalies()
         out += self._check_share_caps()
+        out += self._check_borrow_accounting()
         return out
 
     def audit_quiesce(self, *, expect_empty_allocator: bool = True) -> list[Violation]:
@@ -151,6 +169,9 @@ class InvariantAuditor:
         out += self._check_preemption_accounting(
             expect_no_pending=expect_empty_allocator
         )
+        out += self._check_borrow_quiesce()
+        out += self._check_prepared_claims()
+        out += self._check_inplace_service()
         if expect_empty_allocator:
             out += self._check_allocator_empty()
         return out
@@ -438,6 +459,7 @@ class InvariantAuditor:
             return []
         out: list[Violation] = []
         fleet = allocator.fleet_memory()
+        elastic = getattr(allocator, "elastic_shares", False)
         for model, cap in caps.items():
             # Relative epsilon: running tenant totals drift a few float
             # ulps per operation at the 10^12-byte scale.
@@ -445,6 +467,22 @@ class InvariantAuditor:
             limit += max(_CAPACITY_EPS, 1e-9 * limit)
             live = allocator.tenant_reserved.get(model, 0.0)
             peak = allocator.tenant_peak.get(model, 0.0)
+            if elastic:
+                # Under elastic contracts the cap loosens by exactly the
+                # tenant's current borrow-ledger total; transient peaks
+                # above cap are legal as long as the ledger covered them
+                # (``borrow-accounting`` audits the uncovered peak).
+                limit += allocator._borrowed_total(model)
+                if live > limit:
+                    out.append(
+                        Violation(
+                            "share-cap",
+                            f"{model} holds {live:.0f} bytes, over its "
+                            f"{cap:.0%} cap plus borrowed bytes of "
+                            f"{fleet:.0f}-byte fleet",
+                        )
+                    )
+                continue
             if live > limit:
                 out.append(
                     Violation(
@@ -461,6 +499,168 @@ class InvariantAuditor:
                         f"{cap:.0%} cap of {fleet:.0f}-byte fleet",
                     )
                 )
+        return out
+
+    def _check_borrow_accounting(self) -> list[Violation]:
+        """Elastic-contract books: ledger == overage, lenders covered."""
+        allocator = self._allocator
+        if not getattr(allocator, "elastic_shares", False):
+            return []
+        out: list[Violation] = []
+        fleet = allocator.fleet_memory()
+        eps = max(_CAPACITY_EPS, 1e-9 * fleet)
+        # The ledger is derived from the tenant books: each borrower's
+        # ledger sum must equal its overage above cap, and an uncapped
+        # tenant must never carry a ledger row at all.
+        for borrower, debts in allocator._borrows.items():
+            total = sum(debts.values())
+            cap = allocator.share_caps.get(borrower)
+            if cap is None:
+                out.append(
+                    Violation(
+                        "borrow-accounting",
+                        f"uncapped tenant {borrower} carries a borrow "
+                        f"ledger of {total:.0f} bytes",
+                    )
+                )
+                continue
+            overage = max(
+                allocator.tenant_reserved.get(borrower, 0.0) - cap * fleet, 0.0
+            )
+            if abs(total - overage) > eps:
+                out.append(
+                    Violation(
+                        "borrow-accounting",
+                        f"{borrower} ledger sums to {total:.0f} bytes but "
+                        f"its overage above cap is {overage:.0f}",
+                    )
+                )
+        # Cap never violated beyond the ledger, not even transiently.
+        for model, over in allocator.tenant_overage_peak.items():
+            if over > eps:
+                out.append(
+                    Violation(
+                        "borrow-accounting",
+                        f"{model} exceeded its cap by {over:.0f} bytes "
+                        f"beyond what the borrow ledger covered",
+                    )
+                )
+        # An over-committed lender (own demand + lent-out above its cap)
+        # must be pressing its borrowers via an open reclaim demand.
+        open_lenders = {d.lender for d in allocator.open_reclaim_demands()}
+        for lender, cap in allocator.share_caps.items():
+            lent = allocator._lent_out(lender)
+            if lent <= eps:
+                continue
+            own = allocator.tenant_reserved.get(
+                lender, 0.0
+            ) - allocator._borrowed_total(lender)
+            if own + lent > cap * fleet + eps and lender not in open_lenders:
+                out.append(
+                    Violation(
+                        "borrow-accounting",
+                        f"lender {lender} is over-committed (own "
+                        f"{own:.0f} + lent {lent:.0f} bytes over its "
+                        f"{cap:.0%} cap) with no open reclaim demand",
+                    )
+                )
+        # Bounded reclamation latency.
+        now = self.system.sim.now
+        bound = getattr(allocator, "reclaim_bound", 60.0)
+        for demand in allocator.open_reclaim_demands():
+            age = now - demand.issued_at
+            if age > bound:
+                out.append(
+                    Violation(
+                        "borrow-reclaim-latency",
+                        f"reclaim demand by {demand.lender} for "
+                        f"{demand.nbytes:.0f} bytes open for {age:.1f}s "
+                        f"(bound {bound:.1f}s)",
+                    )
+                )
+        return out
+
+    def _check_borrow_quiesce(self) -> list[Violation]:
+        """At quiesce every borrowed byte is back with its lender."""
+        allocator = self._allocator
+        if not getattr(allocator, "elastic_shares", False):
+            return []
+        out: list[Violation] = []
+        if allocator._borrows:
+            out.append(
+                Violation(
+                    "borrow-accounting",
+                    f"borrow ledger not empty at quiesce: "
+                    f"{sorted(allocator._borrows)}",
+                )
+            )
+        still_open = allocator.open_reclaim_demands()
+        if still_open:
+            out.append(
+                Violation(
+                    "borrow-accounting",
+                    f"{len(still_open)} reclaim demand(s) still open at "
+                    f"quiesce: {[d.lender for d in still_open][:8]}",
+                )
+            )
+        for borrower in set(allocator.bytes_borrowed) | set(
+            allocator.bytes_returned
+        ):
+            borrowed = allocator.bytes_borrowed.get(borrower, 0.0)
+            returned = allocator.bytes_returned.get(borrower, 0.0)
+            if abs(borrowed - returned) > max(_CAPACITY_EPS, 1e-9 * borrowed):
+                out.append(
+                    Violation(
+                        "borrow-accounting",
+                        f"{borrower} borrowed {borrowed:.0f} bytes but "
+                        f"returned {returned:.0f} by quiesce",
+                    )
+                )
+        return out
+
+    def _executors(self) -> dict:
+        """Per-model refactoring executors, when the system has them."""
+        getter = getattr(self.system, "executors", None)
+        return getter() if callable(getter) else {}
+
+    def _check_prepared_claims(self) -> list[Violation]:
+        """A cancelled preparation never switches in (token disjointness);
+        stale prepared-chain claims fall out of the existing pending-claim
+        and preemption-record checks."""
+        out: list[Violation] = []
+        for name, executor in self._executors().items():
+            both = executor.switched_tokens & executor.aborted_tokens
+            if both:
+                out.append(
+                    Violation(
+                        "prepared-claim",
+                        f"{name}: transition token(s) {sorted(both)[:8]} "
+                        f"both switched in and aborted — a cancelled "
+                        f"preparation must never serve",
+                    )
+                )
+        return out
+
+    def _check_inplace_service(self) -> list[Violation]:
+        """The replica never left ACTIVE inside an in-place transition."""
+        out: list[Violation] = []
+        for name, executor in self._executors().items():
+            for replica, start, end in executor.inplace_spans:
+                inside = [
+                    (t, state)
+                    for t, state in replica.state_history
+                    if start < t < end
+                ]
+                if inside:
+                    t, state = inside[0]
+                    out.append(
+                        Violation(
+                            "inplace-service-gap",
+                            f"{replica.name} moved to {state.value} at "
+                            f"t={t:.6f} inside an in-place transition "
+                            f"({start:.6f}..{end:.6f}) of {name}",
+                        )
+                    )
         return out
 
     def _check_preemption_accounting(

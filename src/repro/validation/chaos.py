@@ -72,6 +72,14 @@ class ChaosCase:
     # (class deadlines, priority routing, per-tenant admission) and the
     # run is audited for the per-tenant shed-accounting invariant too.
     slo_classes: tuple[tuple[str, str], ...] = ()
+    # (model, cap) share caps as fractions of fleet memory, and the
+    # elastic-contract switch: with ``elastic`` the caps become
+    # borrowable and FlexPipe's executor unlocks in-place transitions +
+    # preemptible prepared claims — and the chaos schedule adds
+    # borrow/reclaim-storm and mid-preparation-preemption actions.
+    # Both require a classed fleet (QoS on).
+    share_caps: tuple[tuple[str, float], ...] = ()
+    elastic: bool = False
     max_events: int = 10_000_000
 
     def __post_init__(self) -> None:
@@ -90,6 +98,22 @@ class ChaosCase:
                     f"unknown SLO class {name!r}; "
                     f"available: {sorted(SLO_CLASSES)}"
                 )
+        for model, cap in self.share_caps:
+            if model not in self.models:
+                raise ValueError(
+                    f"share_caps annotates {model!r}, not a tenant of "
+                    f"{self.models}"
+                )
+            if not 0.0 < cap <= 1.0:
+                raise ValueError(f"share cap must be in (0, 1]: {model}={cap}")
+        if (self.share_caps or self.elastic) and not self.slo_classes:
+            raise ValueError(
+                "share_caps/elastic need a classed fleet (slo_classes)"
+            )
+
+    @property
+    def caps_of(self) -> dict[str, float]:
+        return dict(self.share_caps)
 
     @property
     def models(self) -> tuple[str, ...]:
@@ -119,6 +143,17 @@ PAPER_FLEET_CLASSES: tuple[tuple[str, ...], ...] = (
     ("batch", "interactive"),
 )
 
+# Elastic-contract arming for the fleets above (position-matched): caps
+# generous enough that the fleet's initial provisioning fits under them,
+# so the chaos (borrow surges, reclaim storms) — not the cold start — is
+# what pushes tenants across their caps.  The OPT-66B fleet stays
+# uncapped: its big-checkpoint loads need the whole fragmented cluster.
+PAPER_FLEET_CAPS: tuple[tuple[tuple[str, float], ...], ...] = (
+    (("LLAMA2-7B", 0.45), ("BERT-21B", 0.45)),
+    (("LLAMA2-7B", 0.40), ("BERT-21B", 0.40)),
+    (),
+)
+
 
 def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
     """A paper-cluster multi-model chaos case for ``seed``.
@@ -142,6 +177,19 @@ def paper_case(system: str, seed: int, **kwargs) -> ChaosCase:
         fields["slo_classes"] = tuple(
             (m, classes[m]) for m in tenants if m in classes
         )
+    if "share_caps" not in fields:
+        # Caps (and elastic, below) require a classed fleet, so a caller
+        # that overrode the annotations away gets a static uncapped case.
+        caps = dict(PAPER_FLEET_CAPS[index]) if fields["slo_classes"] else {}
+        tenants = (fields["model"], *fields["extra_models"])
+        fields["share_caps"] = tuple(
+            (m, caps[m]) for m in tenants if m in caps
+        )
+    if "elastic" not in fields:
+        # Elastic contracts ride along wherever caps are armed, so the
+        # audit rotation exercises borrow/reclaim and in-place
+        # transitions under every capped paper fleet.
+        fields["elastic"] = bool(fields["share_caps"])
     return ChaosCase(system=system, seed=seed, **fields)
 
 
@@ -213,6 +261,11 @@ class ChaosSchedule:
             return
         choices = ["scale_out", "drain", "refactor", "fail"]
         weights = [0.3, 0.3, 0.25, 0.15]
+        if getattr(self.system.ctx.allocator, "elastic_shares", False):
+            # Armed-only extension (appended, weights rescaled): unarmed
+            # runs draw byte-identical action sequences to before.
+            choices += ["borrow_surge", "reclaim_lender", "preempt_prep"]
+            weights = [w * 0.7 for w in weights] + [0.12, 0.09, 0.09]
         action = str(self.rng.choice(choices, p=weights))
         outcome = getattr(self, f"_do_{action}")()
         key = f"{action}:{outcome}" if outcome else action
@@ -245,6 +298,48 @@ class ChaosSchedule:
             return "unsupported"
         event = self.injector.inject()
         return "ok" if event is not None else "noop"
+
+    # --- elastic-contract actions (armed only when elastic shares on) ---
+    def _do_borrow_surge(self) -> str:
+        """Push one capped tenant over its cap into borrowed headroom."""
+        allocator = self.system.ctx.allocator
+        capped = sorted(
+            m for m in allocator.share_caps if m in self.system.specs
+        )
+        if not capped:
+            return "noop"
+        model = capped[int(self.rng.integers(len(capped)))]
+        outcomes = [
+            action_scale_out(self.system, self.rng, model=model)
+            for _ in range(2)
+        ]
+        return "ok" if "ok" in outcomes else "blocked"
+
+    def _do_reclaim_lender(self) -> str:
+        """A lender wants its headroom back: deploy for a tenant with
+        bytes lent out, forcing reclamation pressure on its borrowers."""
+        allocator = self.system.ctx.allocator
+        lenders = sorted(
+            m
+            for m in allocator.share_caps
+            if m in self.system.specs and allocator._lent_out(m) > 0
+        )
+        if not lenders:
+            return "noop"
+        model = lenders[int(self.rng.integers(len(lenders)))]
+        return action_scale_out(self.system, self.rng, model=model)
+
+    def _do_preempt_prep(self) -> str:
+        """Mid-preparation preemption pressure: start a refactor, then
+        contend for memory with every other tenant's deploys — if the
+        cluster is tight, arbitration preempts the in-flight
+        preparation's prepared-chain claim."""
+        started = action_refactor(self.system, self.rng)
+        if started != "ok":
+            return "noop"
+        for model in sorted(self.system.specs):
+            action_scale_out(self.system, self.rng, model=model)
+        return "contended"
 
 
 # ----------------------------------------------------------------------
@@ -392,7 +487,11 @@ def _run_chaos_case(case: ChaosCase) -> ChaosReport:
         from repro.qos.classes import get_slo_class
 
         class_map = {m: get_slo_class(c) for m, c in class_of.items()}
-        system.enable_qos(class_map)
+        system.enable_qos(
+            class_map,
+            share_caps=case.caps_of or None,
+            elastic=case.elastic,
+        )
         gate = build_tenant_controller(system, class_map, cap=int(cap))
     else:
         policy = (

@@ -27,6 +27,24 @@ scheduling invariants can be stated exactly:
       bandwidth, recomputed independently from the cost table (a plan
       that claims RDMA but schedules at sendfile speed is caught).
 
+:func:`check_inplace_delta` (the executor's live resize planning math)
+    * **only the delta moves** — a reused stage's parameter traffic is
+      exactly its new span minus the bytes already resident (restated
+      here by set arithmetic over fine units, independent of the
+      executor's slice sums), and KV moves only for units that change
+      devices;
+    * **conservation** — every fine unit lands in exactly one new stage,
+      so resident + delta bytes across stages equal the total, and KV
+      totals are preserved;
+    * **reuse exclusivity** — an old stage's device is claimed by at
+      most one new stage, and only when their leading units align;
+    * **detection power** — a poisoned plan (a reused stage re-moving
+      its resident bytes) must be flagged, else the oracle itself is
+      broken (``fuzz-detection-power``).
+    The planned deltas then flow through :class:`MigrationPlanner` and
+    :func:`check_schedule`, so the resize traffic also honours channel
+    exclusivity and the makespan bounds.
+
 :func:`fuzz_link_case` (for :class:`~repro.transfer.links.FairShareLink`)
     * every transfer completes, exactly once;
     * no transfer beats its physics: duration >= latency +
@@ -67,6 +85,7 @@ class MigrationFuzzCase:
     max_items: int = 40
     max_servers: int = 6
     link_rounds: int = 8  # FairShareLink workloads per case
+    inplace_rounds: int = 8  # random in-place resize schedules per case
 
 
 @dataclass
@@ -76,6 +95,7 @@ class MigrationFuzzReport:
     schedules: int = 0
     items: int = 0
     transfers: int = 0
+    inplace: int = 0  # in-place resize schedules fuzzed
 
     @property
     def ok(self) -> bool:
@@ -289,6 +309,217 @@ def check_method_selection(
 
 
 # ----------------------------------------------------------------------
+# In-place resize invariants (the executor's delta planning math)
+# ----------------------------------------------------------------------
+def random_groups(rng, n_units: int) -> list[tuple[int, int]]:
+    """A random contiguous partition of ``range(n_units)`` into stages."""
+    n_stages = int(rng.integers(1, n_units + 1))
+    cuts = sorted(
+        rng.choice(range(1, n_units), size=n_stages - 1, replace=False).tolist()
+        if n_stages > 1
+        else []
+    )
+    bounds = [0, *cuts, n_units]
+    return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+
+def check_inplace_delta(
+    old_groups: list[tuple[int, int]],
+    new_groups: list[tuple[int, int]],
+    unit_params: list[float],
+    unit_kv: list[float],
+    deltas: list[dict],
+) -> list[Violation]:
+    """Oracle for one in-place delta plan, by set arithmetic.
+
+    Restates the only-the-delta-moves rule over explicit fine-unit sets
+    (``stay = new span ∩ owner's old span``), independently of the
+    executor's slice sums — a regression that re-moves resident bytes or
+    drops a unit disagrees with it.
+    """
+    out: list[Violation] = []
+    if len(deltas) != len(new_groups):
+        out.append(
+            Violation(
+                "inplace-delta",
+                f"plan has {len(deltas)} stage(s) for "
+                f"{len(new_groups)} new group(s)",
+            )
+        )
+        return out
+    fine_owner = {
+        f: j for j, (lo, hi) in enumerate(old_groups) for f in range(lo, hi)
+    }
+    claimed: set[int] = set()
+    resident_total = delta_total = kv_seen = 0.0
+    for j, ((lo, hi), d) in enumerate(zip(new_groups, deltas)):
+        span = set(range(lo, hi))
+        stage_params = sum(unit_params[f] for f in span)
+        stage_kv = sum(unit_kv[f] for f in span)
+        owner = fine_owner[lo]
+        can_reuse = old_groups[owner][0] == lo and owner not in claimed
+        if d["reused"] and not can_reuse:
+            out.append(
+                Violation(
+                    "inplace-delta",
+                    f"stage {j} claims reuse of old stage {owner} but its "
+                    f"leading unit is misaligned or the device is taken",
+                )
+            )
+        stay: set[int] = set()
+        if d["reused"] and can_reuse:
+            claimed.add(owner)
+            stay = span & set(range(*old_groups[owner]))
+        resident = sum(unit_params[f] for f in stay)
+        kv_stay = sum(unit_kv[f] for f in stay)
+        eps = max(stage_params, 1.0) * 1e-9
+        kv_eps = max(stage_kv, 1.0) * 1e-9
+        if abs(d["resident_param_bytes"] - resident) > eps:
+            out.append(
+                Violation(
+                    "inplace-delta",
+                    f"stage {j}: claims {d['resident_param_bytes']:.0f} "
+                    f"resident bytes, the staying units hold {resident:.0f}",
+                )
+            )
+        if abs(d["param_delta_bytes"] - (stage_params - resident)) > eps:
+            out.append(
+                Violation(
+                    "inplace-delta",
+                    f"stage {j}: moves {d['param_delta_bytes']:.0f} param "
+                    f"bytes, the delta beyond resident is "
+                    f"{stage_params - resident:.0f} — only the delta moves",
+                )
+            )
+        if abs(d["kv_moved_bytes"] - (stage_kv - kv_stay)) > kv_eps:
+            out.append(
+                Violation(
+                    "inplace-delta",
+                    f"stage {j}: moves {d['kv_moved_bytes']:.0f} KV bytes, "
+                    f"units changing devices hold {stage_kv - kv_stay:.0f}",
+                )
+            )
+        if abs(d["kv_total_bytes"] - stage_kv) > kv_eps:
+            out.append(
+                Violation(
+                    "inplace-delta",
+                    f"stage {j}: KV total {d['kv_total_bytes']:.0f} != "
+                    f"span total {stage_kv:.0f}",
+                )
+            )
+        resident_total += d["resident_param_bytes"]
+        delta_total += d["param_delta_bytes"]
+        kv_seen += d["kv_total_bytes"]
+    total_params = sum(unit_params)
+    total_kv = sum(unit_kv)
+    if abs((resident_total + delta_total) - total_params) > max(
+        total_params, 1.0
+    ) * 1e-9:
+        out.append(
+            Violation(
+                "inplace-delta",
+                f"resident {resident_total:.0f} + delta {delta_total:.0f} "
+                f"!= total params {total_params:.0f} — a unit was dropped "
+                f"or double-counted",
+            )
+        )
+    if abs(kv_seen - total_kv) > max(total_kv, 1.0) * 1e-9:
+        out.append(
+            Violation(
+                "inplace-delta",
+                f"KV totals {kv_seen:.0f} != input {total_kv:.0f}",
+            )
+        )
+    return out
+
+
+def fuzz_inplace_round(rng) -> tuple[list[Violation], int]:
+    """One random in-place resize: delta plan, oracle, schedule, poison.
+
+    Returns (violations, migration items scheduled).
+    """
+    from repro.refactoring.executor import plan_inplace_delta
+
+    out: list[Violation] = []
+    n_units = int(rng.integers(4, 25))
+    unit_params = [
+        float(rng.lognormal(mean=0.0, sigma=1.0) * 64 * MB)
+        for _ in range(n_units)
+    ]
+    unit_kv = [
+        float(rng.lognormal(mean=0.0, sigma=1.0) * 8 * MB)
+        for _ in range(n_units)
+    ]
+    old_groups = random_groups(rng, n_units)
+    new_groups = random_groups(rng, n_units)
+    deltas = plan_inplace_delta(old_groups, new_groups, unit_params, unit_kv)
+    out += check_inplace_delta(
+        old_groups, new_groups, unit_params, unit_kv, deltas
+    )
+
+    # The delta traffic through the real planner: the resize's parameter
+    # and KV movement must honour channel exclusivity and the makespan
+    # bounds like any other migration.
+    host = Endpoint(server_id="host", gpu_id="host", rdma=True)
+    gpus = [
+        Endpoint(
+            server_id=f"s{j // 4}", gpu_id=f"s{j // 4}g{j % 4}", rdma=True
+        )
+        for j in range(max(len(old_groups), len(new_groups)))
+    ]
+    items: list[MigrationItem] = []
+    for j, d in enumerate(deltas):
+        if d["param_delta_bytes"] > 0:
+            items.append(
+                MigrationItem(
+                    ItemKind.PARAMS,
+                    d["param_delta_bytes"],
+                    host,
+                    gpus[j],
+                    tag=f"delta-params{j}",
+                )
+            )
+        if d["kv_moved_bytes"] > 0:
+            items.append(
+                MigrationItem(
+                    ItemKind.KV,
+                    d["kv_moved_bytes"],
+                    gpus[d["owner"]],
+                    gpus[j],
+                    tag=f"delta-kv{j}",
+                )
+            )
+    schedule = MigrationPlanner(DataMover(TransferCosts())).schedule(
+        items, kv_first=True
+    )
+    out += check_schedule(items, schedule, kv_first=True)
+
+    # Detection power: a plan that re-moves a reused stage's resident
+    # bytes (the bug in-place transitions exist to avoid) must be caught.
+    reusable = [
+        j
+        for j, d in enumerate(deltas)
+        if d["reused"] and d["resident_param_bytes"] > 0
+    ]
+    if reusable:
+        j = reusable[int(rng.integers(len(reusable)))]
+        poisoned = [dict(d) for d in deltas]
+        poisoned[j]["param_delta_bytes"] += poisoned[j]["resident_param_bytes"]
+        if not check_inplace_delta(
+            old_groups, new_groups, unit_params, unit_kv, poisoned
+        ):
+            out.append(
+                Violation(
+                    "fuzz-detection-power",
+                    f"oracle missed a poisoned plan that re-moves stage "
+                    f"{j}'s {poisoned[j]['resident_param_bytes']:.0f} "
+                    f"resident bytes",
+                )
+            )
+    return out, len(items)
+
+
+# ----------------------------------------------------------------------
 # Random item sets
 # ----------------------------------------------------------------------
 def random_costs(rng) -> TransferCosts:
@@ -366,6 +597,14 @@ def fuzz_migration_case(case: MigrationFuzzCase) -> MigrationFuzzReport:
         for _ in range(case.link_rounds):
             report.violations += fuzz_link_case(link_rng)
             report.transfers += 1
+        # Own stream: the migration/link rounds above draw byte-identical
+        # sequences whether or not in-place fuzzing runs.
+        inplace_rng = RandomStreams(case.seed).stream("inplace-fuzz")
+        for _ in range(case.inplace_rounds):
+            problems, n_items = fuzz_inplace_round(inplace_rng)
+            report.violations += problems
+            report.inplace += 1
+            report.items += n_items
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
         report.violations.append(
             Violation("harness-crash", f"{type(exc).__name__}: {exc}")
