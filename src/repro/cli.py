@@ -545,6 +545,117 @@ def _run_qos(args) -> int:
     return 0
 
 
+def _run_coldstart(args) -> int:
+    """``repro coldstart``: the cold-start economy comparison report.
+
+    Runs the ``coldstart-economy`` scenario three times on FlexPipe over
+    byte-identical traffic — cost-aware GDSF eviction with pipelined
+    loading (the shipped configuration), recency-only LRU eviction, and
+    load-then-activate (non-pipelined) loading — and gates: every run
+    must hold all lifecycle invariants, GDSF must beat LRU on the hot
+    tenants' mean p99 TTFT and warm-start rate, and pipelined loading
+    must beat load-then-activate on the same TTFT stat.
+    """
+    from dataclasses import replace as dc_replace
+    from statistics import mean
+
+    from repro.scenarios import SCENARIOS, run_scenarios
+
+    base = SCENARIOS["coldstart-economy"]
+    variants = {
+        "gdsf+pipelined": base,
+        "lru+pipelined": dc_replace(
+            base, name="coldstart-economy-lru", cache_policy="lru"
+        ),
+        "gdsf+sequential": dc_replace(
+            base, name="coldstart-economy-seq", pipelined_loading=False
+        ),
+    }
+    reports = dict(
+        zip(
+            variants,
+            run_scenarios(
+                list(variants.values()),
+                ["FlexPipe"],
+                seed=args.seed,
+                quick=args.quick,
+                runner=_runner_from(args),
+            ),
+        )
+    )
+
+    def hot_p99(report) -> float:
+        # The hot tenants (FLEET-0..7) are the ones whose restarts the
+        # cache policy decides; tail sweepers are cold by construction.
+        return mean(
+            stats.p99_ttft
+            for model, stats in report.per_model.items()
+            if int(model.split("-")[1]) < 100
+        )
+
+    rows = [
+        {
+            "variant": label,
+            "violations": len(report.violations),
+            "completed": f"{report.completed}/{report.offered}",
+            "warm rate": f"{report.aggregate.warm_start_rate:.2f}"
+            if report.aggregate
+            else "-",
+            "mean init (s)": f"{report.aggregate.mean_init_time:.2f}"
+            if report.aggregate
+            else "-",
+            "hot p99 TTFT (s)": f"{hot_p99(report):.2f}"
+            if report.aggregate
+            else "-",
+        }
+        for label, report in reports.items()
+    ]
+    print(
+        _rows_table(
+            rows,
+            f"Cold-start economy - coldstart-economy x FlexPipe, "
+            f"seed {args.seed}, identical traffic",
+        )
+    )
+    failures = [r for r in reports.values() if not r.ok]
+    if _report_violations(
+        failures, lambda r: f"{r.scenario} x {r.system} seed={r.seed}"
+    ):
+        return 1
+    gdsf, lru, seq = (
+        reports["gdsf+pipelined"],
+        reports["lru+pipelined"],
+        reports["gdsf+sequential"],
+    )
+    losses = []
+    if hot_p99(gdsf) >= hot_p99(lru):
+        losses.append(
+            f"GDSF did not beat LRU on hot p99 TTFT "
+            f"({hot_p99(gdsf):.2f} vs {hot_p99(lru):.2f})"
+        )
+    if gdsf.aggregate.warm_start_rate < lru.aggregate.warm_start_rate:
+        losses.append(
+            f"GDSF warm-start rate below LRU "
+            f"({gdsf.aggregate.warm_start_rate:.2f} vs "
+            f"{lru.aggregate.warm_start_rate:.2f})"
+        )
+    if hot_p99(gdsf) >= hot_p99(seq):
+        losses.append(
+            f"pipelined loading did not beat load-then-activate "
+            f"({hot_p99(gdsf):.2f} vs {hot_p99(seq):.2f})"
+        )
+    if losses:
+        for loss in losses:
+            print(f"\ncold-start gate failed: {loss}", file=sys.stderr)
+        return 1
+    print(
+        f"\ncold-start gates held: GDSF {hot_p99(gdsf):.2f}s < "
+        f"LRU {hot_p99(lru):.2f}s, pipelined {hot_p99(gdsf):.2f}s < "
+        f"sequential {hot_p99(seq):.2f}s hot p99 TTFT"
+    )
+    return 0
+
+
 def _run_fuzz(args) -> int:
     """``repro fuzz``: direct migration/link-layer fuzzing."""
     from repro.validation.migration_fuzz import fuzz_seeds
@@ -783,6 +894,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="time-compressed variant (for smoke runs; the full scenario "
         "is the meaningful comparison window)",
     )
+    coldstart = sub.add_parser(
+        "coldstart",
+        help="cold-start economy report: run coldstart-economy on "
+        "FlexPipe with GDSF vs LRU eviction and pipelined vs "
+        "load-then-activate loading over identical traffic (fails "
+        "unless GDSF and pipelined loading win and all invariants hold)",
+    )
+    coldstart.add_argument(
+        "--quick",
+        action="store_true",
+        help="time-compressed variant (for smoke runs; the full scenario "
+        "is the meaningful comparison window)",
+    )
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz the transfer/migration layer directly: random "
@@ -822,6 +946,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenario(args)
     if args.command == "qos":
         return _run_qos(args)
+    if args.command == "coldstart":
+        return _run_coldstart(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "trace":

@@ -623,6 +623,7 @@ class GPUAllocator:
         mem_per_stage: Sequence[float],
         *,
         scorer: Callable[[GPU], float] | None = None,
+        stage_scorers: Sequence[Callable[[GPU], float]] | None = None,
         exclude: Iterable[GPU] = (),
         priority: int | None = None,
     ) -> list[StageReservation]:
@@ -630,7 +631,10 @@ class GPUAllocator:
 
         ``scorer`` returns higher-is-better preference per GPU; ties and the
         no-scorer case fall back to most-free-memory-first, which steers
-        placement away from fragmented devices.
+        placement away from fragmented devices.  ``stage_scorers`` (one per
+        stage, overriding ``scorer``) lets a caller express *per-stage*
+        preferences — e.g. warm-cache coverage of a stage's byte range on a
+        specific server.
 
         ``priority`` is the requesting tenant's strict-priority rank; when
         arbitration is on it defaults to the tenant's registered class.  A
@@ -643,7 +647,9 @@ class GPUAllocator:
             priority = int(self.qos_priority_of(model))
         self._check_share(model, sum(mem_per_stage))
         try:
-            reservations = self._place_stages(model, mem_per_stage, scorer, exclude)
+            reservations = self._place_stages(
+                model, mem_per_stage, scorer, exclude, stage_scorers
+            )
         except AllocationError:
             if priority is None:
                 self.failed_requests += 1
@@ -651,7 +657,7 @@ class GPUAllocator:
                 raise
             try:
                 reservations = self._place_with_preemption(
-                    model, mem_per_stage, scorer, exclude, priority
+                    model, mem_per_stage, scorer, exclude, priority, stage_scorers
                 )
             except AllocationError:
                 self._press_lenders_on_failure(model, sum(mem_per_stage))
@@ -680,10 +686,11 @@ class GPUAllocator:
         mem_per_stage: Sequence[float],
         scorer: Callable[[GPU], float] | None,
         exclude: Iterable[GPU],
+        stage_scorers: Sequence[Callable[[GPU], float]] | None = None,
     ) -> list[StageReservation]:
         chosen: list[GPU] = []
         banned = {g.gid for g in exclude}
-        for mem in mem_per_stage:
+        for idx, mem in enumerate(mem_per_stage):
             pool = [
                 g for g in self.candidates(mem, model=model) if g.gid not in banned
             ]
@@ -692,8 +699,9 @@ class GPUAllocator:
                     f"no GPU with {mem / 2**30:.1f} GiB free for model "
                     f"{model!r} (stage {len(chosen)})"
                 )
-            if scorer is not None:
-                best = max(pool, key=lambda g: (scorer(g), g.free_memory))
+            stage_scorer = stage_scorers[idx] if stage_scorers else scorer
+            if stage_scorer is not None:
+                best = max(pool, key=lambda g: (stage_scorer(g), g.free_memory))
             else:
                 best = max(pool, key=lambda g: g.free_memory)
             chosen.append(best)
@@ -710,6 +718,7 @@ class GPUAllocator:
         scorer: Callable[[GPU], float] | None,
         exclude: Iterable[GPU],
         priority: int,
+        stage_scorers: Sequence[Callable[[GPU], float]] | None = None,
     ) -> list[StageReservation]:
         while True:
             victims = self._preemptible_victims(priority)
@@ -736,7 +745,9 @@ class GPUAllocator:
             for claim in chosen:
                 self._preempt(claim, model, priority)
             try:
-                return self._place_stages(model, mem_per_stage, scorer, exclude)
+                return self._place_stages(
+                    model, mem_per_stage, scorer, exclude, stage_scorers
+                )
             except AllocationError:
                 # A scorer can steer the real placement off the dry-run's
                 # path; remaining victims get another round.

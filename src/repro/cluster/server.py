@@ -10,13 +10,16 @@ from repro.transfer.links import GB, FairShareLink, LinkSpec
 class Server:
     """A physical node hosting one or more GPUs.
 
-    The server owns two fair-share links used during scaling:
+    The server owns three fair-share links used during scaling:
 
     * ``pcie`` — host-memory -> GPU parameter loads (warm starts);
+    * ``ssd`` — local-NVMe -> GPU parameter loads (the second cache tier:
+      slower than host memory, much faster than contended remote storage);
     * ``nic`` — network ingest (cold loads from storage, KV migration).
 
     Host memory holds the warm parameter cache of §7 ("parameter copies in
-    host memory even after GPU eviction").
+    host memory even after GPU eviction"); the local SSD backs the cache's
+    demotion tier, so host evictions degrade to SSD-warm instead of cold.
     """
 
     def __init__(
@@ -30,6 +33,8 @@ class Server:
         rdma: bool = False,
         pcie_bandwidth: float = 24.0 * GB,
         nic_bandwidth: float = 12.5 * GB,  # 100 Gbps
+        ssd_capacity: float = 2048.0 * GB,
+        ssd_bandwidth: float = 6.0 * GB,  # NVMe sequential read
     ):
         if not gpus:
             raise ValueError(f"server {sid} must have at least one GPU")
@@ -42,8 +47,12 @@ class Server:
         self.host_memory = host_memory
         self.host_memory_used = 0.0
         self.rdma = rdma
+        self.ssd_capacity = ssd_capacity
+        self.ssd_bandwidth = ssd_bandwidth
+        self.ssd_used = 0.0
         self.pcie = FairShareLink(sim, LinkSpec(f"{sid}/pcie", pcie_bandwidth, 10e-6))
         self.nic = FairShareLink(sim, LinkSpec(f"{sid}/nic", nic_bandwidth, 100e-6))
+        self.ssd = FairShareLink(sim, LinkSpec(f"{sid}/ssd", ssd_bandwidth, 50e-6))
 
     @property
     def host_memory_free(self) -> float:
@@ -60,9 +69,31 @@ class Server:
 
     def host_release(self, nbytes: float) -> None:
         self.host_memory_used -= nbytes
-        if self.host_memory_used < -1e-6:
+        # Tolerance is in *bytes*: at GB magnitudes one float64 ulp is
+        # ~2e-6 bytes, so a heavily churned cache accumulates rounding
+        # noise far above any epsilon-scale guard.
+        if self.host_memory_used < -1024.0:
             raise ValueError(f"host memory under-flow on {self.sid}")
         self.host_memory_used = max(self.host_memory_used, 0.0)
+
+    @property
+    def ssd_free(self) -> float:
+        return self.ssd_capacity - self.ssd_used
+
+    def ssd_reserve(self, nbytes: float) -> bool:
+        """Reserve SSD space for the cache's demotion tier; False = no fit."""
+        if nbytes < 0:
+            raise ValueError(f"negative reservation: {nbytes}")
+        if nbytes > self.ssd_free + 1e-6:
+            return False
+        self.ssd_used += nbytes
+        return True
+
+    def ssd_release(self, nbytes: float) -> None:
+        self.ssd_used -= nbytes
+        if self.ssd_used < -1024.0:  # byte-scale tolerance, see host_release
+            raise ValueError(f"SSD under-flow on {self.sid}")
+        self.ssd_used = max(self.ssd_used, 0.0)
 
     def free_gpus(self, min_free_bytes: float = 0.0) -> list[GPU]:
         """GPUs with at least ``min_free_bytes`` of free memory."""

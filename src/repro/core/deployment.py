@@ -49,6 +49,10 @@ class ReplicaFactory:
         # in addition to parameter loading; warm starts (§7) skip most of it.
         startup_overhead: float = 5.0,
         warm_startup_factor: float = 0.2,
+        # PipeBoost-style pipelined loading: stage transfers are sequenced
+        # front-to-back, the replica activates once stage 0 lands, and
+        # later stages open their gates as their own transfers complete.
+        pipelined_loading: bool = False,
     ):
         self.ctx = ctx
         self.routers = routers
@@ -62,6 +66,7 @@ class ReplicaFactory:
         self.batcher_max_wait = batcher_max_wait
         self.startup_overhead = startup_overhead
         self.warm_startup_factor = warm_startup_factor
+        self.pipelined_loading = pipelined_loading
         # QoS hooks (set by ServingSystem.enable_qos; None = historical
         # behaviour): class-priority batch formation inside new replicas,
         # and pending-deploy claims registered with the allocator so a
@@ -100,12 +105,15 @@ class ReplicaFactory:
         batch = max(min(plan.max_batch, batch_cap or plan.max_batch), 1)
         if scorer is None and self.coordinator is not None:
             scorer = self.coordinator.scorer(model, sim.now)
+        stage_scorers = self._coverage_scorers(profile, plan, scorer)
         # Memory-aware degradation: a fragmented cluster may not offer the
         # full KV reservation for the target batch — halve the batch (and
         # with it the KV pool) until the plan fits, rather than failing.
         def attempt(b: int) -> list[StageReservation]:
             mems = plan.memory_per_stage(b, profile.spec.kv_bytes_per_request)
-            return self.ctx.allocator.allocate_stages(model, mems, scorer=scorer)
+            return self.ctx.allocator.allocate_stages(
+                model, mems, scorer=scorer, stage_scorers=stage_scorers
+            )
 
         batch, reservations = degrade_until_fit(batch, attempt)
         replica = PipelineReplica(
@@ -142,6 +150,50 @@ class ReplicaFactory:
         self.replicas.append(replica)
         return replica
 
+    def _coverage_scorers(
+        self,
+        profile: ModelProfile,
+        plan: PartitionPlan,
+        base: Callable | None,
+    ) -> list[Callable] | None:
+        """Per-stage scorers that prefer servers already holding a stage's
+        byte range in the warm cache.
+
+        The server-level affinity scorer cannot see *which* stage it is
+        placing, so on a multi-server cluster a redeploy scatters stage
+        ranges onto servers whose caches hold different bytes and every
+        restart rides the cold path.  The coverage bonus (weighted by tier,
+        host above SSD) pins each stage back onto its bytes whenever memory
+        allows; with no cache configured the allocator sees no per-stage
+        scorers and behaves exactly as before.
+        """
+        cache = self.warm_cache
+        if cache is None:
+            return None
+        scorers: list[Callable] = []
+        for sp in plan.stages:
+            memo: dict[str, float] = {}
+
+            def bonus(gpu, sp=sp, memo=memo) -> float:
+                server = gpu.server
+                value = memo.get(server.sid)
+                if value is None:
+                    # now=None: a placement *probe* is not a use — touching
+                    # here would inflate GDSF frequency for every candidate
+                    # server merely considered.
+                    host, ssd = cache.coverage_by_tier(
+                        server, profile, sp.start, sp.end, None
+                    )
+                    value = (2.0 * host + 1.0 * ssd) / max(sp.param_bytes, 1.0)
+                    memo[server.sid] = value
+                return value
+
+            if base is None:
+                scorers.append(bonus)
+            else:
+                scorers.append(lambda g, b=bonus: base(g) + b(g))
+        return scorers
+
     def _on_replica_active(self, replica: PipelineReplica) -> None:
         """Loading finished: the deploy is no longer a preemptible claim."""
         self.ctx.allocator.claim_resolved(replica.pending_claim, activated=True)
@@ -162,7 +214,25 @@ class ReplicaFactory:
         event_kind: str,
     ) -> None:
         sim = self.ctx.sim
-        state = {"remaining": 0, "warm_bytes": 0.0, "cold_bytes": 0.0}
+        cm = self.ctx.cost_model
+        cache = self.warm_cache
+        name = profile.spec.name
+        pipelined = self.pipelined_loading
+        # Pin the stage objects: after activation a refactor may swap
+        # replica.stages, but completion callbacks refer to *these* stages.
+        stages = list(replica.stages)
+        state = {
+            "warm_bytes": 0.0,
+            "cold_bytes": 0.0,
+            "stages_left": len(stages),
+        }
+        for stage in stages:
+            # Parameters are not on the GPU until the transfers land; a
+            # deploy cancelled mid-load must not leave phantom warm entries
+            # at teardown.
+            stage.params_resident = False
+            if pipelined:
+                stage.gate_load()
 
         def finish(warm: bool) -> None:
             if replica.state is not ReplicaState.LOADING:
@@ -182,56 +252,117 @@ class ReplicaFactory:
                 )
             )
 
-        def part_done() -> None:
-            state["remaining"] -= 1
-            if state["remaining"] == 0:
-                total = state["warm_bytes"] + state["cold_bytes"]
-                warm = total > 0 and state["warm_bytes"] >= 0.5 * total
-                overhead = self.startup_overhead * (
-                    self.warm_startup_factor if warm else 1.0
-                )
-                sim.schedule(overhead, finish, warm)
+        def startup_overhead() -> tuple[float, bool]:
+            total = state["warm_bytes"] + state["cold_bytes"]
+            warm = total > 0 and state["warm_bytes"] >= 0.5 * total
+            return (
+                self.startup_overhead
+                * (self.warm_startup_factor if warm else 1.0),
+                warm,
+            )
 
-        transfers: list[tuple] = []  # (link, nbytes, per-stream max rate)
-        cm = self.ctx.cost_model
+        # Per stage: (link, nbytes, per-stream max rate, extra latency).
+        stage_parts: list[list[tuple]] = []
         for stage_plan, reservation in zip(plan.stages, reservations):
             server = reservation.gpu.server
             param_bytes = stage_plan.param_bytes
-            warm = 0.0
-            if self.warm_cache is not None:
-                warm = self.warm_cache.coverage(
+            host_warm = ssd_warm = 0.0
+            if cache is not None:
+                host_warm, ssd_warm = cache.coverage_by_tier(
                     server, profile, stage_plan.start, stage_plan.end, sim.now
                 )
-            cold = max(param_bytes - warm, 0.0)
-            state["warm_bytes"] += warm
+            cold = max(param_bytes - host_warm - ssd_warm, 0.0)
+            state["warm_bytes"] += host_warm + ssd_warm
             state["cold_bytes"] += cold
-            # Per-stream rates reproduce the calibrated load-time curve when
-            # uncontended; the shared links add contention on top.
-            if warm > 0:
-                rate = warm / cm.warm_load_time(warm)
-                transfers.append((server.pcie, warm, rate))
-            if cold > 0:
-                duration = cm.cold_load_time(cold) / self.loading_speedup
-                transfers.append((self.ctx.cluster.storage, cold, cold / duration))
-            if self.warm_cache is not None:
-                # Cache-through (§7): parameters stream via host memory, so
-                # the host-side copy persists for future warm starts.
-                self.warm_cache.put(
-                    server,
-                    profile.spec.name,
-                    stage_plan.start,
-                    stage_plan.end,
-                    param_bytes,
-                    sim.now,
+            parts: list[tuple] = []
+            # The fixed warm-load overhead is a latency before the transfer
+            # starts, not a per-byte rate derate: folding it into the rate
+            # would scale the fixed part under link contention.  Bytes then
+            # move at the full tier bandwidth (fair-share contention on top).
+            if host_warm > 0:
+                parts.append(
+                    (server.pcie, host_warm, None, cm.config.warm_load_overhead)
                 )
-        if not transfers:
-            # Everything already resident (e.g. zero-parameter test stages).
-            state["remaining"] = 1
-            sim.schedule(0.0, part_done)
-            return
-        state["remaining"] = len(transfers)
-        for link, nbytes, rate in transfers:
-            link.transfer(nbytes, part_done, max_rate=rate)
+            if ssd_warm > 0:
+                parts.append(
+                    (server.ssd, ssd_warm, None, cm.config.warm_load_overhead)
+                )
+            if cold > 0:
+                # Per-stream rate reproduces the calibrated load-time curve
+                # when uncontended; the shared link adds contention on top.
+                duration = cm.cold_load_time(cold) / self.loading_speedup
+                parts.append((self.ctx.cluster.storage, cold, cold / duration, 0.0))
+            stage_parts.append(parts)
+
+        def stage_done(idx: int) -> None:
+            stage = stages[idx]
+            stage.params_resident = True
+            if cache is not None:
+                # Cache-through (§7) *on completion*: the host-side copy
+                # exists only once the bytes actually streamed through, so
+                # a cancelled deploy never fabricates warm coverage.
+                sp = plan.stages[idx]
+                cache.put(
+                    reservations[idx].gpu.server,
+                    name,
+                    sp.start,
+                    sp.end,
+                    sp.param_bytes,
+                    sim.now,
+                    load_cost=cm.cold_load_time(sp.param_bytes),
+                )
+            if pipelined:
+                if idx == 0:
+                    overhead, warm = startup_overhead()
+
+                    def open_first() -> None:
+                        stage.mark_loaded()
+                        finish(warm)
+
+                    sim.schedule(overhead, open_first)
+                else:
+                    stage.mark_loaded()
+                if idx + 1 < len(stages):
+                    start_stage(idx + 1)
+            else:
+                state["stages_left"] -= 1
+                if state["stages_left"] == 0:
+                    overhead, warm = startup_overhead()
+                    sim.schedule(overhead, finish, warm)
+
+        def start_stage(idx: int) -> None:
+            parts = stage_parts[idx]
+            if not parts:
+                # Nothing to move (e.g. zero-parameter test stages); keep
+                # completion asynchronous like a real transfer would be.
+                sim.schedule(0.0, stage_done, idx)
+                return
+            pending = {"n": len(parts)}
+
+            def part_done() -> None:
+                pending["n"] -= 1
+                if pending["n"] == 0:
+                    stage_done(idx)
+
+            for link, nbytes, rate, delay in parts:
+                if delay > 0:
+                    sim.schedule(
+                        delay,
+                        lambda link=link, nbytes=nbytes, rate=rate: link.transfer(
+                            nbytes, part_done, max_rate=rate
+                        ),
+                    )
+                else:
+                    link.transfer(nbytes, part_done, max_rate=rate)
+
+        if pipelined:
+            # Sequenced front-to-back: stage 0 takes the links uncontended
+            # (by this deploy) and the replica starts serving once it lands;
+            # prefill then chases the load front down the pipeline.
+            start_stage(0)
+        else:
+            for idx in range(len(stages)):
+                start_stage(idx)
 
     # ------------------------------------------------------------------
     def _teardown(self, replica: PipelineReplica) -> None:
@@ -247,7 +378,14 @@ class ReplicaFactory:
             reservation = stage.reservation
             if reservation.released:
                 continue
-            if self.cache_on_release and self.warm_cache is not None:
+            if (
+                self.cache_on_release
+                and self.warm_cache is not None
+                and stage.params_resident
+                # A cancelled deploy's stages whose transfers never landed
+                # hold no parameters — caching them would fabricate warm
+                # coverage for bytes that never moved.
+            ):
                 self.warm_cache.put(
                     reservation.gpu.server,
                     model,
@@ -255,6 +393,9 @@ class ReplicaFactory:
                     stage.plan.end,
                     stage.plan.param_bytes,
                     sim.now,
+                    load_cost=self.ctx.cost_model.cold_load_time(
+                        stage.plan.param_bytes
+                    ),
                 )
             self.ctx.allocator.release(reservation)
         self.released += 1

@@ -70,6 +70,12 @@ class FlexPipeSystem(ServingSystem):
         output_tokens: int = 16,
         slo_deadline: float = 5.0,
         max_replicas: int | None = None,
+        cache_policy: str = "lru",
+        pipelined_loading: bool = False,
+        # None keeps the historical floor max(cfg.min_replicas,
+        # initial_replicas); 0 enables full scale-to-zero serverless churn.
+        min_replicas: int | None = None,
+        scale_in_idle_window: float | None = None,
     ):
         self.config = config or FlexPipeConfig()
         super().__init__(
@@ -82,7 +88,10 @@ class FlexPipeSystem(ServingSystem):
         self.enable_refactoring = enable_refactoring
         self.initial_replicas = initial_replicas
         self.batch_cap = batch_cap
-        self.warm_cache = HostParamCache() if enable_warm_cache else None
+        self.pipelined_loading = pipelined_loading
+        self.warm_cache = (
+            HostParamCache(policy=cache_policy) if enable_warm_cache else None
+        )
         self.affinity = AffinityScheduler(
             AffinityWeights(cfg.affinity_w_t, cfg.affinity_w_g, cfg.affinity_decay)
         )
@@ -102,13 +111,23 @@ class FlexPipeSystem(ServingSystem):
             coordinator=self.coordinator,
             interference=self._interference,
             batcher_max_wait=cfg.batcher_max_wait,
+            pipelined_loading=pipelined_loading,
         )
         scaler_config = AutoscalerConfig(
             slo_deadline=slo_deadline,
-            idle_window=cfg.scale_in_idle_window,
+            idle_window=(
+                cfg.scale_in_idle_window
+                if scale_in_idle_window is None
+                else scale_in_idle_window
+            ),
             # The always-on reservation (30% of peak) is a floor: elastic
             # capacity above it is reclaimed, the floor never is (§9.6).
-            min_replicas=max(cfg.min_replicas, initial_replicas),
+            # An explicit min_replicas overrides it (0 = scale-to-zero).
+            min_replicas=(
+                max(cfg.min_replicas, initial_replicas)
+                if min_replicas is None
+                else min_replicas
+            ),
             max_replicas=max_replicas or cfg.max_replicas,
             target_utilization=cfg.target_utilization,
             beta1=cfg.beta1,
@@ -140,6 +159,7 @@ class FlexPipeSystem(ServingSystem):
                 warm_cache=self.warm_cache,
                 decision_latency=cfg.decision_latency,
                 batch_cap=batch_cap,
+                pipelined_loading=pipelined_loading,
             )
             initial = self._initial_stages(ladder)
             state = _ModelState(
@@ -156,7 +176,7 @@ class FlexPipeSystem(ServingSystem):
                 self.monitors[spec.name],
                 profile,
                 self.metrics,
-                self.factory.deploy,
+                self._autoscaler_deploy,
                 self.factory.release,
                 self._make_plan_for(state),
                 scaler_config,
@@ -208,6 +228,17 @@ class FlexPipeSystem(ServingSystem):
         return interference_multiplier(
             gpu, self.max_cv(), gamma0=cfg.gamma0, alpha=cfg.alpha_mux
         )
+
+    # ------------------------------------------------------------------
+    def _autoscaler_deploy(self, profile, plan, **kwargs):
+        """Scale-out deploys honour the operating batch cap.
+
+        Without the cap a scale-out replica reserves KV for
+        ``plan.max_batch`` — for small models that is the whole GPU, so a
+        handful of deploys exhaust the cluster and every later tenant's
+        cold start blocks on allocation instead of on loading.
+        """
+        return self.factory.deploy(profile, plan, batch_cap=self.batch_cap, **kwargs)
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -46,6 +46,9 @@ class RunSummary:
     warm_start_rate: float
     mean_init_time: float
     mean_alloc_wait: float
+    # Time-to-first-token tail (prefill latency includes any deploy/queue
+    # wait, so cold starts land here) — the cold-start economy headline.
+    p99_ttft: float = 0.0
     # --- QoS (filled by multi-tenant drivers; defaults = unclassed) ---
     slo_class: str = ""  # the tenant's SLO class name, "" when unclassed
     shed: int = 0  # admission sheds charged to this tenant
@@ -163,4 +166,5 @@ class MetricsCollector:
                 if scale_outs
                 else 0.0
             ),
+            p99_ttft=float(np.percentile(prefill, 99)) if prefill.size else 0.0,
         )

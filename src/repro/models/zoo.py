@@ -7,6 +7,7 @@ are scaled proportionally so the graph's total matches it exactly.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from repro.transfer.links import GB
@@ -94,11 +95,61 @@ MODEL_ZOO: dict[str, ModelSpec] = {
 }
 
 
+# Synthetic fleet tenants for 100+ model scenarios: "FLEET-<idx>" (size
+# derived deterministically from the index) or "FLEET-<idx>-<size>g" (size
+# pinned by the name).  The name alone fully determines the spec, so
+# worker processes resolve identical fleets without shipping specs around.
+_FLEET_RE = re.compile(r"^FLEET-(\d+)(?:-(\d+(?:\.\d+)?)g)?$")
+_FLEET_CACHE: dict[str, ModelSpec] = {}
+
+
+def _synthesize_fleet_model(name: str) -> ModelSpec | None:
+    m = _FLEET_RE.match(name)
+    if m is None:
+        return None
+    idx = int(m.group(1))
+    if m.group(2) is not None:
+        size_gb = float(m.group(2))
+    else:
+        # Deterministic log-uniform over [4, 40) GB (Weyl sequence on the
+        # index — no RNG, stable across processes and runs).
+        u = (idx * 2654435761 % 4096) / 4096.0
+        size_gb = 4.0 * (10.0**u)
+    if size_gb <= 0:
+        raise KeyError(f"fleet model {name!r} declares a non-positive size")
+    # Depth grows slowly with size and stays small: the granularity-ladder
+    # DP is O(layers^2)-ish per rung, and 100+ tenants each build one.
+    n_layers = min(8 + int(size_gb // 6) * 2, 28)
+    return ModelSpec(
+        name=name,
+        n_layers=n_layers,
+        hidden=4096,
+        n_heads=32,
+        vocab=32000,
+        checkpoint_bytes=size_gb * GB,
+    )
+
+
 def get_model(name: str) -> ModelSpec:
-    """Look up a model by its paper name; raises ``KeyError`` with options."""
+    """Look up a model by its paper name; raises ``KeyError`` with options.
+
+    ``FLEET-*`` names synthesize (and memoize) a deterministic tenant spec,
+    supporting 100+ model fleet scenarios without hand-writing a zoo.
+    """
     try:
         return MODEL_ZOO[name]
     except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
-        ) from None
+        pass
+    # Memoized separately so MODEL_ZOO keeps exactly the paper's models
+    # (per-model sweeps iterate it).
+    spec = _FLEET_CACHE.get(name)
+    if spec is None:
+        spec = _synthesize_fleet_model(name)
+        if spec is not None:
+            _FLEET_CACHE[name] = spec
+    if spec is not None:
+        return spec
+    raise KeyError(
+        f"unknown model {name!r}; available: {sorted(MODEL_ZOO)} "
+        f"or synthetic 'FLEET-<idx>[-<size>g]' tenants"
+    ) from None

@@ -83,7 +83,10 @@ class GranularityLadder:
     def _feasible_counts(self, counts, partitioner) -> list[int]:
         """Counts whose plans satisfy memory + boundary-availability limits."""
         out = []
-        n_boundaries = len(self.profile.graph.cut_points()) + 1
+        # Count only the boundaries the partitioner will actually cut at
+        # (its quality filter drops mid-block cuts): shallow models can
+        # have fewer legal positions than raw graph cut points.
+        n_boundaries = partitioner.n_positions
         gpu_memory = self.profile.cost_model.config.gpu_memory
         total = self.profile.graph.total_param_bytes
         for count in counts:

@@ -55,6 +55,12 @@ class Partitioner:
             if self.graph.boundary_quality(i) >= self.config.min_boundary_quality
         ]
 
+    @property
+    def n_positions(self) -> int:
+        """Candidate stage-end positions under the boundary-quality filter
+        (the maximum stage count any plan of this profile can have)."""
+        return len(self._cuts) + 1
+
     # ------------------------------------------------------------------
     def plan(self, n_stages: int) -> PartitionPlan:
         """Optimal ``n_stages``-stage plan (Eq. 2)."""

@@ -73,6 +73,19 @@ class StageRuntime:
         self.jobs_executed = 0
         self.busy_seconds = 0.0
         self.stall_seconds = 0.0  # time jobs waited here with work pending
+        # Pipelined loading (PipeBoost-style): a gated stage holds its queue
+        # until its parameter transfer completes, so a replica can serve
+        # from its first loaded stages while later ones still load.  The
+        # audit trail (was_gated / loaded_at / load_marks /
+        # first_started_at) backs the `partial-activation` invariant.
+        self.loaded = True
+        self.was_gated = False
+        self.loaded_at: float | None = None
+        self.load_marks = 0
+        self.first_started_at: float | None = None
+        # Whether parameters actually landed on the GPU (False while a
+        # deploy's transfers are in flight; gates cache-on-release).
+        self.params_resident = True
 
     @property
     def gpu(self) -> GPU:
@@ -92,11 +105,29 @@ class StageRuntime:
             self._start_next()
 
     # ------------------------------------------------------------------
+    def gate_load(self) -> None:
+        """Bar execution until :meth:`mark_loaded`; jobs queue meanwhile."""
+        self.loaded = False
+        self.was_gated = True
+        self.params_resident = False
+
+    def mark_loaded(self) -> None:
+        """Parameter transfer complete: open the gate and drain the queue."""
+        self.load_marks += 1
+        self.params_resident = True
+        if not self.loaded:
+            self.loaded = True
+            self.loaded_at = self.sim.now
+            if self.queue and not self.busy:
+                self._start_next()
+
     def _start_next(self) -> None:
-        if not self.queue:
+        if not self.queue or not self.loaded:
             return
         job, enqueued_at = self.queue.popleft()
         self.busy = True
+        if self.first_started_at is None:
+            self.first_started_at = self.sim.now
         waited = self.sim.now - enqueued_at
         if self.index > 0:
             self.stall_seconds += waited

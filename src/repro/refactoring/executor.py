@@ -72,6 +72,9 @@ class TransitionPlan:
     # the auditor uses to assert switched/aborted disjointness.
     claim: PendingClaim | None = None
     token: int = 0
+    # Per-stage load completion times (pipelined mode): the switch happens
+    # once stage 0 is ready; later stages open their gates as they land.
+    stage_load_times: tuple[float, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -174,6 +177,10 @@ class RefactoringExecutor:
         decision_latency: float = 0.002,
         switch_pause: float = 0.001,
         batch_cap: int | None = None,
+        # Pipelined chain transitions: switch to the new chain as soon as
+        # its first stage has loaded, gating later stages until their own
+        # loads complete (mirrors ReplicaFactory's pipelined deploys).
+        pipelined_loading: bool = False,
     ):
         self.ctx = ctx
         self.profile = profile
@@ -183,6 +190,7 @@ class RefactoringExecutor:
         self.decision_latency = decision_latency
         self.switch_pause = switch_pause
         self.batch_cap = batch_cap
+        self.pipelined_loading = pipelined_loading
         self.transitions_started = 0
         self.transitions_completed = 0
         self.transitions_aborted = 0
@@ -424,12 +432,19 @@ class RefactoringExecutor:
         # when the fragmented cluster cannot host the target rung at the
         # full batch's KV reservation, halve the batch until it fits
         # rather than abandoning the transition outright.
-        batch, (reservations, load_duration, kv_bytes_moving, reused, fresh) = (
+        batch, (reservations, stage_times, kv_bytes_moving, reused, fresh) = (
             degrade_until_fit(
                 batch,
                 lambda b: self._reserve_target(replica, old_rung, new_rung, b),
             )
         )
+        # Pipelined mode swaps once the first stage is ready (later stages
+        # stay gated until their own loads land); classic mode waits for
+        # the slowest stage.
+        if self.pipelined_loading and stage_times:
+            load_duration = stage_times[0]
+        else:
+            load_duration = max(stage_times, default=0.0)
 
         kv_plan = mover.plan(
             kv_bytes_moving, same_server=False, src_rdma=True, dst_rdma=True
@@ -444,6 +459,7 @@ class RefactoringExecutor:
             reused_gpus=reused,
             fresh_gpus=fresh,
             batch=batch,
+            stage_load_times=tuple(stage_times),
         )
 
     def _reserve_target(
@@ -452,8 +468,12 @@ class RefactoringExecutor:
         old_rung,
         new_rung,
         batch: int,
-    ) -> tuple[list[StageReservation], float, float, int, int]:
-        """Reserve the target chain at ``batch``; all-or-nothing."""
+    ) -> tuple[list[StageReservation], list[float], float, int, int]:
+        """Reserve the target chain at ``batch``; all-or-nothing.
+
+        Returns the per-stage best-source load times (callers reduce them
+        to a single duration depending on pipelined vs. classic mode).
+        """
         model = self.profile.spec.name
         new_plan = new_rung.plan
         mems = new_plan.memory_per_stage(
@@ -469,7 +489,7 @@ class RefactoringExecutor:
 
         reservations: list[StageReservation] = []
         claimed: set[str] = set()
-        load_duration = 0.0
+        stage_times: list[float] = []
         kv_bytes_moving = 0.0
         reused = fresh = 0
         try:
@@ -501,11 +521,10 @@ class RefactoringExecutor:
                     reservation = got[0]
                     fresh += 1
                 reservations.append(reservation)
-                load_duration = max(
-                    load_duration,
+                stage_times.append(
                     self._stage_load_time(
                         stage_plan, reservation, owner_stage, reused=gpu is reservation.gpu
-                    ),
+                    )
                 )
                 # Fine ranges that change GPUs carry their KV shards along.
                 moved_fraction = self._moved_kv_fraction(
@@ -520,7 +539,7 @@ class RefactoringExecutor:
             for reservation in reservations:
                 self.ctx.allocator.release(reservation)
             raise
-        return reservations, load_duration, kv_bytes_moving, reused, fresh
+        return reservations, stage_times, kv_bytes_moving, reused, fresh
 
     def _prepare_inplace(
         self, replica: PipelineReplica, target_stages: int
@@ -711,11 +730,19 @@ class RefactoringExecutor:
         )
         options.append(peer.duration)
         if self.warm_cache is not None:
-            warm = self.warm_cache.coverage(
+            host_warm, ssd_warm = self.warm_cache.coverage_by_tier(
                 dst_server, self.profile, stage_plan.start, stage_plan.end
             )
-            if warm >= missing:
+            if host_warm >= missing:
                 options.append(cm.warm_load_time(missing))
+            elif host_warm + ssd_warm >= missing:
+                # Partially demoted to the SSD tier: price the whole load
+                # at NVMe bandwidth (conservative — host-resident bytes
+                # would move faster).
+                options.append(
+                    cm.config.warm_load_overhead
+                    + missing / dst_server.ssd_bandwidth
+                )
         options.append(cm.cold_load_time(missing))
         return min(options)
 
@@ -766,6 +793,9 @@ class RefactoringExecutor:
                 stage.plan.end,
                 stage.plan.param_bytes,
                 self.ctx.sim.now,
+                load_cost=self.ctx.cost_model.cold_load_time(
+                    stage.plan.param_bytes
+                ),
             )
         self.ctx.allocator.release(reservation)
 
@@ -803,6 +833,18 @@ class RefactoringExecutor:
             )
         else:
             replica.swap_stages(new_plan, plan.reservations, batch_cap=plan.batch)
+            if self.pipelined_loading and plan.stage_load_times:
+                # The swap happened once stage 0 was ready; stages whose
+                # loads outlast the preparation window stay gated (jobs
+                # queue there) and open exactly when their load lands.
+                elapsed = plan.duration + self.switch_pause
+                for stage, load_time in zip(
+                    replica.stages, plan.stage_load_times
+                ):
+                    extra = load_time - elapsed
+                    if extra > 1e-9:
+                        stage.gate_load()
+                        sim.schedule(extra, stage.mark_loaded)
         self.transitions_completed += 1
         if plan.token:
             self.switched_tokens.add(plan.token)

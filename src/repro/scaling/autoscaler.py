@@ -169,6 +169,11 @@ class Autoscaler:
                 queue / max(per_replica * cfg.slo_deadline * 0.5, 1.0)
             )
             desired = max(desired, len(active) + backlog_units)
+        if cfg.min_replicas == 0 and rate <= 0.0 and queue == 0:
+            # Scale-to-zero: Eq. 5's instance count floors at one replica,
+            # so an explicit zero floor with no arrivals in the monitor
+            # window and nothing queued means the tenant is truly idle.
+            desired = 0
         desired = min(max(desired, cfg.min_replicas), cfg.max_replicas)
 
         total = len(active) + len(self.loading)

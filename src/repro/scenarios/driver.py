@@ -280,12 +280,36 @@ class ScenarioDriver:
         self.streams = streams
         self.cluster = cluster
         self.fragmentation = fragmentation
+        # Cache-tier capacity knobs are hardware, so they apply to every
+        # system identically (policy comparisons stay apples-to-apples).
+        if spec.host_cache_gb is not None:
+            for server in cluster.servers:
+                server.host_memory = spec.host_cache_gb * 2**30
+        if spec.ssd_cache_gb is not None:
+            for server in cluster.servers:
+                server.ssd_capacity = spec.ssd_cache_gb * 2**30
+        if spec.storage_gbps is not None:
+            cluster.storage.spec = replace(
+                cluster.storage.spec, bandwidth=spec.storage_gbps * 2**30
+            )
         ctx = ServingContext.create(sim, cluster, streams)
         overrides = (
             {}
             if spec.initial_replicas is None
             else {"initial_replicas": spec.initial_replicas}
         )
+        if case.system == "FlexPipe":
+            # Cold-start economy knobs exist only on FlexPipe; the baseline
+            # factories have fixed signatures and keep their historical
+            # loading behaviour.
+            if spec.cache_policy != "lru":
+                overrides["cache_policy"] = spec.cache_policy
+            if spec.pipelined_loading:
+                overrides["pipelined_loading"] = True
+            if spec.scale_to_zero:
+                overrides["min_replicas"] = 0
+            if spec.idle_window is not None:
+                overrides["scale_in_idle_window"] = spec.idle_window
         system = CHAOS_SYSTEMS[case.system](ctx, cfg, **overrides)
         self.system = system
         try:
@@ -615,7 +639,7 @@ def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
         )
 
 
-_CACHE_VERSION = 3
+_CACHE_VERSION = 4
 
 
 def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:

@@ -57,6 +57,10 @@ PAPER_MULTI_BURST = ScenarioSpec(
         ScenarioEvent(at=35.0, action="reclaim", count=2),
     ),
     admission_cap=256,
+    # The late reclaim can force a genuinely cold redeploy (the warm cache
+    # no longer credits bytes a cancelled load never transferred), so the
+    # grace window must cover a full cold reload plus the backlog drain.
+    drain=75.0,
 )
 
 TENANT_CHURN = ScenarioSpec(
@@ -374,6 +378,84 @@ ELASTIC_CONTRACTS = ScenarioSpec(
     admission_cap=96,
 )
 
+def _coldstart_fleet() -> tuple[ModelScript, ...]:
+    """The 108-tenant serverless fleet of ``coldstart-economy``.
+
+    * 8 *hot* tenants (10 GB, ``FLEET-<i>-10g``) offering three 15 s waves
+      separated by long idle gaps.  With scale-to-zero each gap releases
+      the tenant's replicas, so every later wave restarts from the
+      parameter cache — or from storage, if the cache evicted the tenant.
+      Each completed deploy/teardown cycle *touches* the tenant's cached
+      ranges, so by the third wave the hot set carries real frequency.
+    * 100 one-shot *tail* tenants (12 GB, ``FLEET-<100+j>-12g``) on a
+      uniform stagger — the cache sweepers.  Their teardowns land between
+      the hot tenants' second and third waves, flushing more bytes
+      through each server's (deliberately small) cache tiers than the
+      tiers can hold: recency-only LRU evicts the hot set and the third
+      wave restarts cold, while cost-aware GDSF keeps the frequently
+      re-used checkpoints resident and the third wave stays warm.
+
+    Sizes are pinned in the model names, keeping the fleet identical
+    across processes and runs.
+    """
+    hot = tuple(
+        ModelScript(
+            f"FLEET-{i}-10g",
+            segments=tuple(
+                ArrivalSegment("steady", start=start, duration=15.0, qps=1.5)
+                for start in (0.0, 180.0, 375.0)
+            ),
+        )
+        for i in range(8)
+    )
+    # The first idle gap is churn-free (wave two restarts warm under any
+    # policy, and the hot set earns its reference frequency); the sweep
+    # then runs through the second gap at a rate calibrated so recency
+    # alone cannot protect the hot set but frequency-weighted priorities
+    # can.
+    tail = tuple(
+        ModelScript(
+            f"FLEET-{100 + j}-12g",
+            segments=(
+                ArrivalSegment(
+                    "steady", start=210.0 + 9.0 * j, duration=15.0, qps=0.6
+                ),
+            ),
+        )
+        for j in range(100)
+    )
+    return hot + tail
+
+
+COLDSTART_ECONOMY = ScenarioSpec(
+    name="coldstart-economy",
+    description=(
+        "A 108-model serverless fleet under scale-to-zero churn: hot "
+        "tenants return for three waves across idle gaps while one-shot "
+        "tail tenants sweep the deliberately small parameter-cache tiers "
+        "between waves, so eviction policy (LRU vs cost-aware GDSF) and "
+        "pipelined stage loading decide the hot tenants' p99 "
+        "time-to-first-token (run `repro coldstart` for the policy "
+        "comparison over identical traffic)."
+    ),
+    cluster="small",
+    settle=5.0,
+    initial_replicas=0,
+    models=_coldstart_fleet(),
+    cache_policy="gdsf",
+    pipelined_loading=True,
+    scale_to_zero=True,
+    idle_window=8.0,
+    # Host tier fits the hot set (~10 GB/server) with a little slack but
+    # not the sweep; the narrowed storage link is what cold restarts
+    # contend on (and what warm restarts get to skip).
+    host_cache_gb=20.0,
+    ssd_cache_gb=8.0,
+    storage_gbps=5.0,
+    admission_cap=512,
+    drain=40.0,
+)
+
 AZURE_REPLAY = ScenarioSpec(
     name="azure-replay",
     description=(
@@ -418,6 +500,7 @@ SCENARIOS: dict[str, ScenarioSpec] = {
         PRIORITY_INVERSION,
         GPU_CONTENTION,
         ELASTIC_CONTRACTS,
+        COLDSTART_ECONOMY,
         AZURE_REPLAY,
     )
 }

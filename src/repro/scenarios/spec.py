@@ -24,8 +24,9 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, replace
 
-from repro.models.zoo import MODEL_ZOO
+from repro.models.zoo import get_model
 from repro.qos.classes import SLO_CLASSES
+from repro.scaling.warm_cache import CACHE_POLICIES
 
 SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay", "azure")
 EVENT_ACTIONS = ("reclaim", "fail_server", "drain", "refactor", "scale_out")
@@ -146,10 +147,11 @@ class ModelScript:
     share_cap: float | None = None
 
     def __post_init__(self) -> None:
-        if self.model not in MODEL_ZOO:
-            raise ValueError(
-                f"unknown model {self.model!r}; available: {sorted(MODEL_ZOO)}"
-            )
+        try:
+            # Resolves zoo models and synthetic FLEET-* tenants alike.
+            get_model(self.model)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
         if not self.segments:
             raise ValueError(f"{self.model}: at least one arrival segment required")
         if self.slo_class is not None and self.slo_class not in SLO_CLASSES:
@@ -240,6 +242,29 @@ class ScenarioSpec:
     # headroom (reclaimed on demand), and FlexPipe's refactor executor
     # unlocks live in-place transitions.  Only meaningful with QoS on.
     elastic: bool = False
+    # Cold-start economy knobs (applied to FlexPipe; baselines keep their
+    # fixed behaviour so comparisons stay apples-to-apples):
+    # warm-cache eviction policy ("lru" or cost-aware "gdsf"),
+    cache_policy: str = "lru"
+    # serve from the first loaded stages instead of load-then-activate,
+    pipelined_loading: bool = False
+    # autoscaler floor 0 — idle tenants release everything (serverless
+    # churn; cold-start waves then hit the parameter cache),
+    scale_to_zero: bool = False
+    # and how long a replica idles before scale-in (None = system default).
+    idle_window: float | None = None
+    # Per-server cache-tier capacities in GiB (None = the cluster's
+    # hardware defaults).  A hardware knob, applied to every system: the
+    # coldstart-economy family shrinks both tiers so fleet churn actually
+    # exercises eviction — at datacenter defaults (256 GiB host, 2 TiB
+    # SSD) nothing ever leaves the cache and every policy looks alike.
+    host_cache_gb: float | None = None
+    ssd_cache_gb: float | None = None
+    # Cluster checkpoint-storage bandwidth in GiB/s (None = hardware
+    # default).  Cold loads contend on this shared link; narrowing it is
+    # what makes pipelined loading's sequenced transfers matter — on an
+    # unsaturated link parallel stage loads always finish first.
+    storage_gbps: float | None = None
     # Floor on the traffic window.  Shard partitioning replaces a parent
     # scenario with per-shard sub-specs whose own segments/events may end
     # earlier; padding every sub-spec to the parent's duration keeps the
@@ -272,6 +297,17 @@ class ScenarioSpec:
             raise ValueError("settle/drain cannot be negative")
         if self.min_duration < 0:
             raise ValueError("min_duration cannot be negative")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                f"choose from {CACHE_POLICIES}"
+            )
+        if self.idle_window is not None and self.idle_window <= 0:
+            raise ValueError(f"idle_window must be positive: {self.idle_window}")
+        for knob in ("host_cache_gb", "ssd_cache_gb", "storage_gbps"):
+            value = getattr(self, knob)
+            if value is not None and value <= 0:
+                raise ValueError(f"{knob} must be positive: {value}")
 
     # ------------------------------------------------------------------
     @property
@@ -379,4 +415,11 @@ class ScenarioSpec:
             events=tuple(replace(e, at=e.at / effective) for e in self.events),
             settle=self.settle,  # load times do not compress
             drain=max(self.drain / effective, 10.0),
+            # The scale-in window is part of the churn shape: keep its
+            # ratio to the (compressed) wave spacing.
+            idle_window=(
+                None
+                if self.idle_window is None
+                else max(self.idle_window / effective, 2.0)
+            ),
         )

@@ -172,6 +172,7 @@ class InvariantAuditor:
         out += self._check_borrow_quiesce()
         out += self._check_prepared_claims()
         out += self._check_inplace_service()
+        out += self._check_partial_activation()
         if expect_empty_allocator:
             out += self._check_allocator_empty()
         return out
@@ -291,6 +292,72 @@ class InvariantAuditor:
                         Violation(
                             "chain-accounting",
                             f"released {replica.name} still holds {held}",
+                        )
+                    )
+        return out
+
+    def _check_partial_activation(self) -> list[Violation]:
+        """Pipelined loading correctness, over every stage a replica ever
+        had (live chains, parallel chains, retired stages):
+
+        * no batch executes on a gated stage before its parameter load
+          landed (``first_started_at >= loaded_at``);
+        * a gated stage that executed work was actually marked loaded;
+        * the load-complete mark fires exactly once per stage.
+        """
+        out: list[Violation] = []
+        for replica in self.replicas():
+            seen: set[int] = set()
+            stages = [
+                stage
+                for chain in (
+                    replica.stages,
+                    *replica._chains.values(),
+                    replica._retired_stages,
+                )
+                for stage in chain
+                if not (id(stage) in seen or seen.add(id(stage)))
+            ]
+            for stage in stages:
+                if stage.load_marks > 1:
+                    out.append(
+                        Violation(
+                            "partial-activation",
+                            f"{replica.name} stage {stage.index} marked "
+                            f"loaded {stage.load_marks} times (exactly-once "
+                            f"violated)",
+                        )
+                    )
+                if not stage.was_gated:
+                    continue
+                if stage.jobs_executed > 0 and stage.loaded_at is None:
+                    out.append(
+                        Violation(
+                            "partial-activation",
+                            f"{replica.name} stage {stage.index} executed "
+                            f"{stage.jobs_executed} job(s) but its load "
+                            f"never completed",
+                        )
+                    )
+                elif stage.loaded and stage.load_marks == 0:
+                    out.append(
+                        Violation(
+                            "partial-activation",
+                            f"{replica.name} stage {stage.index} gate opened "
+                            f"without a load-complete mark",
+                        )
+                    )
+                if (
+                    stage.first_started_at is not None
+                    and stage.loaded_at is not None
+                    and stage.first_started_at < stage.loaded_at - 1e-9
+                ):
+                    out.append(
+                        Violation(
+                            "partial-activation",
+                            f"{replica.name} stage {stage.index} started a "
+                            f"batch at t={stage.first_started_at:.6f} before "
+                            f"its load landed at t={stage.loaded_at:.6f}",
                         )
                     )
         return out
