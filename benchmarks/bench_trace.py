@@ -1,0 +1,118 @@
+"""Tracing-overhead benchmark: traced vs untraced scenario wall clock.
+
+Runs the same scenario (identical spec, system, seed — hence identical
+traffic and schedule) once with ``trace=False`` and once with
+``trace=True``, and records the wall-clock overhead ratio in
+``BENCH_perf.json`` at the repo root. The ratio is hardware-independent,
+so the CI gate holds on runners faster or slower than the machine that
+recorded it.
+
+Usage::
+
+    python benchmarks/bench_trace.py             # measure + record
+    python benchmarks/bench_trace.py --check     # CI: fail if overhead blows up
+    python benchmarks/bench_trace.py --scenario qos-priority
+
+The ``--check`` gate is an absolute ceiling on the overhead ratio rather
+than a relative comparison: causal tracing is bookkeeping on the request
+path, and the contract is that it stays cheap (well under CEILING x the
+untraced run), not that it stays at any particular recorded value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+PERF_FILE = REPO_ROOT / "BENCH_perf.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# Traced runs may cost at most this multiple of the untraced wall clock.
+CEILING = 1.5
+
+
+def measure(scenario: str, repeats: int = 3) -> dict:
+    from repro.scenarios import SCENARIOS, ScenarioCase, run_scenario_case
+
+    spec = SCENARIOS[scenario].quick()
+    # Warm-up: the first run in a process pays import/JIT costs that
+    # would otherwise land entirely on the untraced leg.
+    run_scenario_case(ScenarioCase(spec, "FlexPipe", 0))
+    out: dict = {"scenario": scenario}
+    for label, traced in (("untraced", False), ("traced", True)):
+        best = float("inf")
+        completed = 0
+        for _ in range(repeats):
+            case = ScenarioCase(spec, "FlexPipe", 0, trace=traced)
+            start = time.perf_counter()
+            report = run_scenario_case(case)
+            best = min(best, time.perf_counter() - start)
+            completed = report.completed
+        out[label] = {"wall_s": round(best, 4), "completed": completed}
+    out["spans"] = sum(
+        len(t.spans)
+        for t in run_scenario_case(
+            ScenarioCase(spec, "FlexPipe", 0, trace=True)
+        ).traces
+    )
+    out["overhead"] = round(
+        out["traced"]["wall_s"] / out["untraced"]["wall_s"], 3
+    )
+    return out
+
+
+def load_perf() -> dict:
+    if PERF_FILE.exists():
+        return json.loads(PERF_FILE.read_text())
+    return {}
+
+
+def save_perf(perf: dict) -> None:
+    PERF_FILE.write_text(json.dumps(perf, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="coldstart-economy",
+                        help="scenario to drive (default coldstart-economy)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate on the overhead ceiling instead of recording")
+    args = parser.parse_args(argv)
+
+    result = measure(args.scenario, args.repeats)
+    print(f"scenario:  {result['scenario']} (quick)")
+    print(f"untraced:  {result['untraced']['wall_s']:.3f}s "
+          f"({result['untraced']['completed']} completed)")
+    print(f"traced:    {result['traced']['wall_s']:.3f}s "
+          f"({result['spans']} spans emitted)")
+    print(f"overhead:  {result['overhead']:.2f}x")
+
+    if result["untraced"]["completed"] != result["traced"]["completed"]:
+        print("FAIL: traced and untraced runs completed different request "
+              "counts (tracing perturbed the simulation!)")
+        return 1
+
+    if args.check:
+        if result["overhead"] > CEILING:
+            print(f"FAIL: tracing overhead {result['overhead']:.2f}x exceeds "
+                  f"the {CEILING:.2f}x ceiling")
+            return 1
+        print(f"OK: tracing overhead within the {CEILING:.2f}x ceiling")
+        return 0
+
+    perf = load_perf()
+    perf["trace_overhead"] = result
+    save_perf(perf)
+    print(f"recorded in {PERF_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -736,6 +736,133 @@ def _run_trace(args) -> str:
     return "\n".join(lines)
 
 
+def _run_trace_attr(args) -> int:
+    """``repro trace <scenario>``: causal tracing + tail attribution.
+
+    Runs one catalog scenario with the span tracer and fleet flight
+    recorder armed, decomposes the p99/p999 TTFT and p99 latency tails
+    into cause buckets (cold-load vs queue vs refactor vs preemption vs
+    compute), and gates on the observability contract: zero
+    ``span-conservation`` violations and >= 95% of tail seconds
+    attributed to a concrete cause bucket.
+    """
+    import json as json_mod
+
+    from repro.observability import (
+        attribute_tail,
+        conservation_violations,
+        perfetto_trace,
+    )
+    from repro.scenarios import SCENARIOS
+    from repro.scenarios.driver import ScenarioCase, run_scenario_case
+
+    if _choose([args.scenario], SCENARIOS, what="scenario") is None:
+        return 2
+    spec = SCENARIOS[args.scenario]
+    if args.quick:
+        spec = spec.quick()
+    case = ScenarioCase(
+        spec, args.system, args.seed, shards=max(args.shards, 0), trace=True
+    )
+    report = run_scenario_case(case)
+    traces = report.traces
+
+    sharded = f", {report.shards} shard(s)" if report.shards else ""
+    print(
+        f"Traced {report.scenario} x {report.system} seed={report.seed}"
+        f"{sharded}: {len(traces)} request trace(s), "
+        f"{len(report.fleet_events)} control-plane event(s)"
+    )
+
+    tails = [
+        attribute_tail(traces, metric="ttft", percentile=99.0),
+        attribute_tail(traces, metric="ttft", percentile=99.9),
+        attribute_tail(traces, metric="latency", percentile=99.0),
+    ]
+    for tail in tails:
+        rows = [
+            {
+                "cause": bucket,
+                "seconds": f"{seconds:.2f}",
+                "share": f"{seconds / tail.total_seconds:.1%}"
+                if tail.total_seconds
+                else "-",
+            }
+            for bucket, seconds in sorted(
+                tail.buckets.items(), key=lambda kv: -kv[1]
+            )
+            if seconds > 0.0
+        ]
+        print()
+        print(
+            _rows_table(
+                rows,
+                f"p{tail.percentile:g} {tail.metric.upper()} tail - "
+                f"{tail.tail_count} request(s) >= {tail.threshold:.2f}s, "
+                f"{tail.total_seconds:.1f}s total, "
+                f"{tail.attributed_fraction:.1%} attributed",
+            )
+        )
+    ttft99 = tails[0]
+    if ttft99.by_tenant:
+        rows = []
+        for tenant, buckets in sorted(ttft99.by_tenant.items()):
+            total = sum(buckets.values())
+            top = max(buckets, key=buckets.get) if total else "-"
+            rows.append(
+                {
+                    "tenant": tenant,
+                    "tail seconds": f"{total:.2f}",
+                    "dominant cause": top,
+                    "dominant share": f"{buckets[top] / total:.1%}"
+                    if total
+                    else "-",
+                }
+            )
+        print()
+        print(_rows_table(rows, "p99 TTFT tail by tenant"))
+
+    kinds: dict[str, int] = {}
+    for event in report.fleet_events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    if kinds:
+        summary = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+        print(f"\nflight recorder: {summary}")
+
+    if args.json:
+        payload = perfetto_trace(traces, report.fleet_events)
+        with open(args.json, "w") as fh:
+            json_mod.dump(payload, fh)
+        print(
+            f"wrote {args.json}: {len(payload['traceEvents'])} trace_event "
+            f"row(s) (load in Perfetto UI / chrome://tracing)"
+        )
+
+    if _report_violations(
+        [report] if not report.ok else [],
+        lambda r: f"{r.scenario} x {r.system} seed={r.seed}",
+    ):
+        return 1
+    leaks = conservation_violations(traces)
+    if leaks:
+        print("\nspan-conservation violations:", file=sys.stderr)
+        for leak in leaks[:10]:
+            print(f"  {leak}", file=sys.stderr)
+        return 1
+    if ttft99.attributed_fraction < 0.95:
+        print(
+            f"\ntrace gate failed: only {ttft99.attributed_fraction:.1%} "
+            f"of p99 TTFT seconds attributed to a cause bucket",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\ntrace gates held: spans tile every latency interval and "
+        f"{ttft99.attributed_fraction:.1%} of p99 TTFT seconds carry a cause."
+    )
+    return 0
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     e.name: e
     for e in [
@@ -916,8 +1043,43 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--seeds", type=int, default=10, help="seeded cases (default 10)"
     )
-    trace = sub.add_parser("trace", help="synthesise / inspect Azure-style traces")
+    trace = sub.add_parser(
+        "trace",
+        help="causal request tracing: run a scenario with the span tracer "
+        "+ fleet flight recorder armed and attribute the latency tail to "
+        "cause buckets (also: synthesise / inspect Azure-style traces)",
+    )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_run = trace_sub.add_parser(
+        "run",
+        help="trace one catalog scenario and print the tail-latency "
+        "attribution report (`repro trace <scenario>` is shorthand)",
+    )
+    trace_run.add_argument(
+        "scenario", help="catalog scenario name (see `repro scenario list`)"
+    )
+    trace_run.add_argument(
+        "--system", default="FlexPipe", help="serving system (default: FlexPipe)"
+    )
+    trace_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="time-compressed variant (for smoke runs)",
+    )
+    trace_run.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run through the shard partitioner with N workers; merged "
+        "spans carry their shard of origin (0 = monolithic driver)",
+    )
+    trace_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the Perfetto/Chrome trace_event JSON to PATH",
+    )
     synth = trace_sub.add_parser("synth", help="write a synthetic trace CSV")
     synth.add_argument("output", help="CSV path to write")
     synth.add_argument("--apps", type=int, default=40)
@@ -929,6 +1091,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `repro trace <scenario>` sugar: anything after `trace` that is not
+    # one of its literal subcommands (or a help flag) routes through
+    # `trace run`, so the worked examples read naturally.
+    if "trace" in argv:
+        i = argv.index("trace")
+        nxt = argv[i + 1] if i + 1 < len(argv) else None
+        if nxt is not None and nxt not in ("run", "synth", "stats", "-h", "--help"):
+            argv.insert(i + 1, "run")
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -951,6 +1122,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "trace":
+        if args.trace_command == "run":
+            return _run_trace_attr(args)
         print(_run_trace(args))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -188,6 +188,9 @@ class GPUAllocator:
         # Peak bytes a tenant held above cap *beyond* what the ledger
         # covers — must stay within epsilon (the elastic cap invariant).
         self.tenant_overage_peak: dict[str, float] = {}
+        # Observability: a FlightRecorder installed by a traced run (the
+        # allocator has no simulator handle; ``_clock`` stamps events).
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # QoS arbitration configuration
@@ -392,6 +395,14 @@ class GPUAllocator:
             self.bytes_borrowed[borrower] = (
                 self.bytes_borrowed.get(borrower, 0.0) + take
             )
+            if self.recorder is not None:
+                self.recorder.record(
+                    self._clock(),
+                    "borrow",
+                    borrower=borrower,
+                    lender=lender,
+                    nbytes=take,
+                )
             need -= take
             took_any = True
         if took_any:
@@ -437,6 +448,14 @@ class GPUAllocator:
             self.bytes_returned[borrower] = (
                 self.bytes_returned.get(borrower, 0.0) + give
             )
+            if self.recorder is not None:
+                self.recorder.record(
+                    self._clock(),
+                    "borrow_returned",
+                    borrower=borrower,
+                    lender=lender,
+                    nbytes=give,
+                )
             amount -= give
         if not debts:
             self._borrows.pop(borrower, None)
@@ -458,6 +477,14 @@ class GPUAllocator:
             target_lent=max(lent - nbytes, 0.0),
         )
         self.reclaim_demands.append(demand)
+        if self.recorder is not None:
+            self.recorder.record(
+                demand.issued_at,
+                "reclaim_demand",
+                lender=lender,
+                nbytes=nbytes,
+                target_lent=demand.target_lent,
+            )
         if self._reclaim_hook is not None:
             owed = sorted(
                 (
@@ -565,6 +592,17 @@ class GPUAllocator:
                 reservations=tuple(claim.reservations),
             )
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                self._clock(),
+                "preemption",
+                victim=claim.model,
+                victim_priority=claim.priority,
+                claimant=claimant,
+                claimant_priority=priority,
+                claim_kind=claim.kind,
+                nbytes=sum(r.nbytes for r in claim.reservations),
+            )
         # Cancelling drains the LOADING replica; its teardown releases the
         # reservations through the normal (exactly-once) path.
         claim.cancel()

@@ -150,6 +150,9 @@ class AdmissionGate:
         self.policy = policy or AlwaysAdmit()
         self.on_reject = on_reject
         self.stats = GateStats()
+        # Observability: a FlightRecorder installed by a traced run (the
+        # gate holds no simulator handle, so the tap lives here).
+        self.recorder = None
 
     def submit(self, request: Request) -> None:
         self.stats.offered += 1
@@ -159,5 +162,13 @@ class AdmissionGate:
             return
         self.stats.rejected += 1
         request.rejected = True
+        if self.recorder is not None:
+            self.recorder.record(
+                request.arrival_time,
+                "shed",
+                rid=request.rid,
+                model=request.model,
+                slo_class=request.slo_class,
+            )
         if self.on_reject is not None:
             self.on_reject(request)

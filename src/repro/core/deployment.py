@@ -241,6 +241,20 @@ class ReplicaFactory:
                 # reservations — activating now would serve from freed GPUs.
                 return
             replica.activate()
+            if sim.recorder is not None:
+                sim.recorder.record(
+                    sim.now,
+                    "replica_activated",
+                    replica=replica.name,
+                    model=name,
+                    stages=plan.n_stages,
+                    event=event_kind,
+                    wait_time=wait_time,
+                    init_time=sim.now - replica.created_at,
+                    warm=warm,
+                    warm_bytes=state["warm_bytes"],
+                    cold_bytes=state["cold_bytes"],
+                )
             self.metrics.on_event(
                 ScalingEvent(
                     time=sim.now,
@@ -399,6 +413,13 @@ class ReplicaFactory:
                 )
             self.ctx.allocator.release(reservation)
         self.released += 1
+        if sim.recorder is not None:
+            sim.recorder.record(
+                sim.now,
+                "teardown",
+                replica=replica.name,
+                model=model,
+            )
         self.metrics.on_event(
             ScalingEvent(time=sim.now, kind="scale_in", detail=replica.name)
         )

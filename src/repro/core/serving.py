@@ -73,6 +73,9 @@ class ServingSystem(abc.ABC):
         """Request ingress (the API-manager path of Fig. 5)."""
         if request.model not in self.routers:
             raise KeyError(f"{self.name} does not serve model {request.model!r}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin(request)
         self.metrics.on_submit(request)
         self.monitors[request.model].observe(self.sim.now)
         self.routers[request.model].submit(request)

@@ -123,8 +123,19 @@ class MetricsCollector:
             [r.completion_time for r in done], [r.latency for r in done]
         )
         recoveries = recovery_times(episodes)
-        scale_outs = [e for e in self.events if e.kind == "scale_out"]
-        refactors = [e for e in self.events if e.kind == "refactor"]
+        # Events obey the measurement epoch like every other population:
+        # warm-up deploys must not pollute warm_start_rate / init-time /
+        # alloc-wait means (nor refactor_count) of the measured window.
+        scale_outs = [
+            e
+            for e in self.events
+            if e.kind == "scale_out" and e.time >= measure_from
+        ]
+        refactors = [
+            e
+            for e in self.events
+            if e.kind == "refactor" and e.time >= measure_from
+        ]
         denominator = max(gpus_used, 1) * duration
         return RunSummary(
             system=self.system,

@@ -26,6 +26,13 @@ class Series:
     values: list[float] = field(default_factory=list)
 
     def record(self, time: float, value: float) -> None:
+        # Coerce to builtin floats at the door: callers routinely hand in
+        # numpy scalars, whose repr ("np.float64(1.5)" under numpy >= 2)
+        # breaks the CSV round-trip and whose 32-bit variants are not
+        # JSON-serialisable.  Coercion also keeps the round-trip exact —
+        # repr(float) parses back bit-identically.
+        time = float(time)
+        value = float(value)
         if self.times and time < self.times[-1]:
             raise ValueError(
                 f"series {self.name!r}: time {time} before last {self.times[-1]}"

@@ -1,0 +1,41 @@
+"""Causal request tracing, fleet flight recorder, tail attribution.
+
+The package is entirely opt-in: nothing here runs unless a
+:class:`SpanTracer` / :class:`FlightRecorder` is installed on the
+simulator (``sim.tracer`` / ``sim.recorder``).  Every hook threaded
+through the serving stack is a plain attribute read when tracing is
+off, so untraced runs stay byte-identical.
+"""
+
+from repro.observability.attribution import (
+    AttributionReport,
+    attribute_tail,
+    bucket_seconds,
+    conservation_violations,
+    merge_shard_traces,
+    perfetto_trace,
+)
+from repro.observability.flight_recorder import FleetEvent, FlightRecorder
+from repro.observability.tracer import (
+    BUCKETS,
+    FinalTrace,
+    RequestTrace,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "BUCKETS",
+    "AttributionReport",
+    "FinalTrace",
+    "FleetEvent",
+    "FlightRecorder",
+    "RequestTrace",
+    "Span",
+    "SpanTracer",
+    "attribute_tail",
+    "bucket_seconds",
+    "conservation_violations",
+    "merge_shard_traces",
+    "perfetto_trace",
+]

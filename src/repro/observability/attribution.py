@@ -1,0 +1,238 @@
+"""Tail-latency attribution over finalized request traces.
+
+Given the :class:`~repro.observability.tracer.FinalTrace` population of a
+run, decompose the seconds spent by the p99/p999 tail (TTFT and full
+latency) into cause buckets, per tenant and per SLO class.  Because the
+span builder tiles every request's latency interval exactly (the
+``span-conservation`` invariant), the attributed fraction is 1.0 by
+construction — anything lower is a tracing bug, which is exactly why the
+report carries the fraction instead of assuming it.
+
+Also here: the conservation checker the auditor calls, Perfetto/Chrome
+``trace_event`` JSON export, and the cross-shard trace merge with
+re-tagged provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.observability.flight_recorder import FleetEvent
+from repro.observability.tracer import BUCKETS, FinalTrace
+
+
+def bucket_seconds(
+    trace: FinalTrace, cutoff: float | None = None
+) -> dict[str, float]:
+    """Seconds per cause bucket, with spans clipped to ``[arrival, cutoff]``.
+
+    ``cutoff=None`` uses the full latency interval; pass
+    ``trace.prefill_done`` to decompose TTFT.
+    """
+    end = trace.completion if cutoff is None else cutoff
+    out = dict.fromkeys(BUCKETS, 0.0)
+    for span in trace.spans:
+        hi = min(span.end, end)
+        if hi > span.start:
+            out[span.bucket] += hi - span.start
+    return out
+
+
+def conservation_violations(
+    traces, eps: float = 1e-6
+) -> list[str]:
+    """Check that each trace's spans tile ``[arrival, completion]``.
+
+    Returns human-readable defect strings (empty = invariant holds).
+    Spans must be contiguous (no gap or overlap beyond ``eps``), start at
+    arrival, and end at completion.
+    """
+    out: list[str] = []
+    for trace in traces:
+        tol = eps + 1e-9 * abs(trace.completion)
+        if not trace.spans:
+            if trace.latency > tol:
+                out.append(
+                    f"request {trace.rid} ({trace.model}): "
+                    f"{trace.latency:.6f}s latency with no spans"
+                )
+            continue
+        cursor = trace.arrival
+        for span in trace.spans:
+            if abs(span.start - cursor) > tol:
+                kind = "gap" if span.start > cursor else "overlap"
+                out.append(
+                    f"request {trace.rid} ({trace.model}): {kind} of "
+                    f"{abs(span.start - cursor):.6g}s before {span.phase} "
+                    f"span at t={span.start:.6f}"
+                )
+                break
+            if span.end < span.start:
+                out.append(
+                    f"request {trace.rid} ({trace.model}): negative "
+                    f"{span.phase} span at t={span.start:.6f}"
+                )
+                break
+            cursor = span.end
+        else:
+            if abs(cursor - trace.completion) > tol:
+                out.append(
+                    f"request {trace.rid} ({trace.model}): spans end at "
+                    f"t={cursor:.6f} but completion is "
+                    f"t={trace.completion:.6f}"
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tail attribution
+# ----------------------------------------------------------------------
+@dataclass
+class AttributionReport:
+    """Cause-bucket decomposition of one tail (metric x percentile)."""
+
+    metric: str  # "ttft" | "latency"
+    percentile: float
+    threshold: float  # tail entry value in seconds
+    tail_count: int
+    total_seconds: float  # sum of the tail's metric seconds
+    buckets: dict[str, float] = field(default_factory=dict)
+    by_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
+    by_class: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def attributed_fraction(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 1.0
+        return sum(self.buckets.values()) / self.total_seconds
+
+
+def attribute_tail(
+    traces: list[FinalTrace],
+    *,
+    metric: str = "ttft",
+    percentile: float = 99.0,
+) -> AttributionReport:
+    """Decompose the seconds spent by the ``percentile`` tail of ``metric``."""
+    if metric not in ("ttft", "latency"):
+        raise ValueError(f"metric must be 'ttft' or 'latency', got {metric!r}")
+    if not traces:
+        return AttributionReport(metric, percentile, 0.0, 0, 0.0)
+    values = np.array(
+        [t.ttft if metric == "ttft" else t.latency for t in traces]
+    )
+    threshold = float(np.percentile(values, percentile))
+    tail = [t for t, v in zip(traces, values) if v >= threshold]
+    report = AttributionReport(
+        metric=metric,
+        percentile=percentile,
+        threshold=threshold,
+        tail_count=len(tail),
+        total_seconds=float(
+            sum(t.ttft if metric == "ttft" else t.latency for t in tail)
+        ),
+        buckets=dict.fromkeys(BUCKETS, 0.0),
+    )
+    for trace in tail:
+        cutoff = trace.prefill_done if metric == "ttft" else None
+        seconds = bucket_seconds(trace, cutoff)
+        for bucket, value in seconds.items():
+            report.buckets[bucket] += value
+        for group, key in (
+            (report.by_tenant, trace.model),
+            (report.by_class, trace.slo_class or "-"),
+        ):
+            slot = group.setdefault(key, dict.fromkeys(BUCKETS, 0.0))
+            for bucket, value in seconds.items():
+                slot[bucket] += value
+    return report
+
+
+# ----------------------------------------------------------------------
+# Cross-shard merge (PR-6 sharded runs)
+# ----------------------------------------------------------------------
+def merge_shard_traces(
+    shards: list[tuple[int, list[FinalTrace], list[FleetEvent]]],
+) -> tuple[list[FinalTrace], list[FleetEvent]]:
+    """Merge per-shard trace payloads, re-tagging shard provenance.
+
+    ``shards`` holds ``(shard_index, traces, recorder_events)`` triples.
+    Traces merge in (arrival, rid) order and events in (time, shard, seq)
+    order, so the merged result is independent of shard enumeration
+    order.
+    """
+    traces: list[FinalTrace] = []
+    events: list[FleetEvent] = []
+    for index, shard_traces, shard_events in shards:
+        traces.extend(t.retagged(index) for t in shard_traces)
+        events.extend(e.retagged(index) for e in shard_events)
+    traces.sort(key=lambda t: (t.arrival, t.rid))
+    events.sort(key=lambda e: (e.time, e.shard or 0, e.seq))
+    return traces, events
+
+
+# ----------------------------------------------------------------------
+# Perfetto / Chrome trace_event export
+# ----------------------------------------------------------------------
+def perfetto_trace(
+    traces: list[FinalTrace],
+    events: list[FleetEvent] | None = None,
+) -> dict:
+    """Render traces + recorder events as Chrome ``trace_event`` JSON.
+
+    Each shard becomes a process (pid), each request a thread (tid), each
+    span a complete ``"ph": "X"`` event and each recorder event a global
+    instant.  Load the result in Perfetto UI / ``chrome://tracing``.
+    """
+    trace_events: list[dict] = []
+    pids: set[int] = set()
+    for trace in traces:
+        pid = trace.shard if trace.shard is not None else 0
+        pids.add(pid)
+        args = {
+            "rid": trace.rid,
+            "model": trace.model,
+            "class": trace.slo_class or "-",
+            "replica": trace.replica or "-",
+        }
+        for span in trace.spans:
+            trace_events.append(
+                {
+                    "name": span.phase,
+                    "cat": span.bucket,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": (span.end - span.start) * 1e6,
+                    "pid": pid,
+                    "tid": trace.rid,
+                    "args": {**args, "stage": span.stage},
+                }
+            )
+    for event in events or ():
+        pid = event.shard if event.shard is not None else 0
+        pids.add(pid)
+        trace_events.append(
+            {
+                "name": event.kind,
+                "cat": "control-plane",
+                "ph": "i",
+                "s": "p",
+                "ts": event.time * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(event.detail),
+            }
+        )
+    for pid in sorted(pids):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"shard {pid}"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

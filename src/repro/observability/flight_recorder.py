@@ -1,0 +1,68 @@
+"""Fleet flight recorder: a bounded ring buffer of control-plane events.
+
+Structured events (deploys, cache evictions with their GDSF clock state,
+allocator borrows/reclaims/preemptions, refactor switches) are appended
+by hooks in the control plane whenever a :class:`FlightRecorder` is
+installed (``sim.recorder``, plus the cache/allocator ``recorder``
+attributes for components without a simulator handle).  The buffer is a
+``deque(maxlen=...)`` — overhead is bounded no matter how long the run —
+and per-kind deterministic counter sampling (keep every Nth event of a
+kind) bounds the append rate without any RNG draw, so traced runs stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One structured control-plane event."""
+
+    seq: int  # global arrival index (pre-sampling), unique per recorder
+    time: float
+    kind: str
+    detail: dict = field(default_factory=dict)
+    shard: int | None = None  # provenance after a sharded merge
+
+    def retagged(self, shard: int) -> "FleetEvent":
+        return replace(self, shard=shard)
+
+
+class FlightRecorder:
+    """Bounded, sampled event bus for fleet control-plane telemetry."""
+
+    def __init__(self, capacity: int = 65536, sample_every: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.events: deque[FleetEvent] = deque(maxlen=capacity)
+        self.seen = 0  # every offered event
+        self.recorded = 0  # survived sampling (may since be ring-evicted)
+        self.kind_counts: dict[str, int] = {}
+
+    def record(self, time: float, kind: str, **detail) -> None:
+        self.seen += 1
+        count = self.kind_counts.get(kind, 0)
+        self.kind_counts[kind] = count + 1
+        if count % self.sample_every:
+            return
+        self.recorded += 1
+        self.events.append(FleetEvent(self.seen, time, kind, detail))
+
+    @property
+    def sampled_out(self) -> int:
+        return self.seen - self.recorded
+
+    @property
+    def evicted(self) -> int:
+        """Events that survived sampling but fell off the ring."""
+        return self.recorded - len(self.events)
+
+    def by_kind(self, kind: str) -> list[FleetEvent]:
+        return [e for e in self.events if e.kind == kind]

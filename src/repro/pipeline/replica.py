@@ -263,6 +263,9 @@ class PipelineReplica:
         for request in requests:
             request.batch_time = now
         job = self._make_job(requests)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.attach_job(job, self.name, now)
         self.inflight_jobs += 1
         self.inflight_requests += len(requests)
         job.stages = self.stages  # jobs finish on the chain they started on
@@ -366,6 +369,7 @@ class PipelineReplica:
         now = self.sim.now
         last = len(stages) - 1
         prefill_done = job.stage_started[last] + job.stage_prefill[last]
+        tracer = self.sim.tracer
         for request in job.requests:
             request.exec_start = job.exec_start
             request.prefill_done = prefill_done
@@ -374,6 +378,8 @@ class PipelineReplica:
             request.comm_time = job.comm_time
             latency = now - request.arrival_time
             request.queue_time = max(latency - job.exec_time - job.comm_time, 0.0)
+            if tracer is not None:
+                tracer.complete(request)
             self.on_request_complete(request)
         self.inflight_jobs -= 1
         self.inflight_requests -= len(job.requests)

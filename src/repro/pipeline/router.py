@@ -60,9 +60,15 @@ class ModelRouter:
         self.submitted += 1
         target = self._pick()
         if target is None:
+            trace = request.trace
+            if trace is not None:
+                trace.parked_at = self.sim.now
             self.pending.append(request)
             return
         self.routed += 1
+        trace = request.trace
+        if trace is not None:
+            trace.routed_at = self.sim.now
         target.submit(request)
 
     def _pick(self) -> PipelineReplica | None:
@@ -81,7 +87,12 @@ class ModelRouter:
             if target is None:
                 return
             self.routed += 1
-            target.submit(self.pending.popleft())
+            request = self.pending.popleft()
+            trace = request.trace
+            if trace is not None:
+                trace.unparked_at = self.sim.now
+                trace.routed_at = self.sim.now
+            target.submit(request)
 
     # ------------------------------------------------------------------
     @property

@@ -34,6 +34,9 @@ class BatchJob:
     # The stage chain this job executes on; pinned at dispatch so in-flight
     # jobs finish on their original chain across inflight reconfigurations.
     stages: list = field(default_factory=list)
+    # Observability: per-stage timing marks shared by the batch's requests
+    # (a repro.observability.tracer.JobMarks); None unless tracing is on.
+    marks: object | None = None
 
     @property
     def batch_size(self) -> int:
@@ -139,6 +142,31 @@ class StageRuntime:
         # Serialise on the GPU: other models' stages may also occupy it.
         completion = self.gpu.occupy(self.sim.now, duration)
         self.busy_seconds += duration
+        marks = job.marks
+        if marks is not None:
+            # Raw span marks: the completion timestamp is stored verbatim
+            # (not re-derived from start + stall + duration) so the span
+            # builder tiles the latency interval bit-exactly.
+            gate_wait = 0.0
+            if self.was_gated and self.loaded_at is not None:
+                gate_wait = max(0.0, self.loaded_at - enqueued_at)
+            busy = job.stage_busy[self.index]
+            prefill_scaled = (
+                duration * (job.stage_prefill[self.index] / busy)
+                if busy > 0.0
+                else 0.0
+            )
+            marks.stages.append(
+                (
+                    self.index,
+                    enqueued_at,
+                    self.sim.now,
+                    gate_wait,
+                    completion - self.sim.now - duration,
+                    completion,
+                    prefill_scaled,
+                )
+            )
         self.sim.schedule(completion - self.sim.now, self._complete, job)
 
     def _complete(self, job: BatchJob) -> None:

@@ -105,6 +105,9 @@ class TenantAdmissionController:
         self.on_shed = on_shed  # e.g. AttainmentTracker.observe_shed
         self.stats = GateStats()
         self._tenants: dict[str, _Tenant] = {}
+        # Observability: a FlightRecorder installed by a traced run (same
+        # tap contract as AdmissionGate).
+        self.recorder = None
 
     # ------------------------------------------------------------------
     def register(
@@ -142,6 +145,14 @@ class TenantAdmissionController:
         tenant.stats.rejected += 1
         self.stats.rejected += 1
         request.rejected = True
+        if self.recorder is not None:
+            self.recorder.record(
+                request.arrival_time,
+                "shed",
+                rid=request.rid,
+                model=request.model,
+                slo_class=request.slo_class,
+            )
         if self.on_shed is not None:
             self.on_shed(request.model)
         if self.on_reject is not None:

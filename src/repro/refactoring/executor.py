@@ -248,6 +248,19 @@ class RefactoringExecutor:
         event = self.ctx.sim.schedule(total, self._switch, replica, plan)
         self._transitions[replica.name] = (replica, plan, event)
         self._register_claim(replica, plan)
+        sim = self.ctx.sim
+        if sim.tracer is not None:
+            sim.tracer.refactor_begin(replica.name, sim.now)
+        if sim.recorder is not None:
+            sim.recorder.record(
+                sim.now,
+                "refactor_started",
+                replica=replica.name,
+                model=self.profile.spec.name,
+                target_stages=plan.target_stages,
+                inplace=isinstance(plan, InPlaceTransition),
+                expected_latency=total,
+            )
         return True
 
     def _mode_attempts(
@@ -396,6 +409,18 @@ class RefactoringExecutor:
         self.transitions_aborted += 1
         if plan.token:
             self.aborted_tokens.add(plan.token)
+        sim = self.ctx.sim
+        if sim.tracer is not None:
+            sim.tracer.refactor_end(name, sim.now)
+        if sim.recorder is not None:
+            sim.recorder.record(
+                sim.now,
+                "refactor_aborted",
+                replica=name,
+                model=self.profile.spec.name,
+                target_stages=plan.target_stages,
+                why=why,
+            )
         self.metrics.on_event(
             ScalingEvent(
                 time=self.ctx.sim.now,
@@ -803,6 +828,8 @@ class RefactoringExecutor:
         sim = self.ctx.sim
         self._inflight.discard(replica.name)
         self._transitions.pop(replica.name, None)
+        if sim.tracer is not None:
+            sim.tracer.refactor_end(replica.name, sim.now)
         inplace = isinstance(plan, InPlaceTransition)
         if replica.state in (ReplicaState.DRAINING, ReplicaState.RELEASED) or any(
             r.gpu.cordoned for r in plan.reservations
@@ -863,6 +890,18 @@ class RefactoringExecutor:
                 f"{replica.name} {old_n}->{plan.target_stages} "
                 f"(reuse {plan.reused_gpus}, fresh {plan.fresh_gpus}, "
                 f"kv {plan.kv_bytes / 2**20:.1f} MiB)"
+            )
+        if sim.recorder is not None:
+            sim.recorder.record(
+                sim.now,
+                "refactor_switched",
+                replica=replica.name,
+                model=self.profile.spec.name,
+                stages=f"{old_n}->{plan.target_stages}",
+                inplace=inplace,
+                reused_gpus=plan.reused_gpus,
+                fresh_gpus=plan.fresh_gpus,
+                kv_bytes=plan.kv_bytes,
             )
         self.metrics.on_event(
             ScalingEvent(

@@ -97,6 +97,9 @@ class HostParamCache:
         self._clock: dict[tuple[str, str], float] = {}
         self.hits = 0.0  # bytes served warm
         self.misses = 0.0  # bytes that had to come from storage
+        # Observability: a FlightRecorder installed by a traced run (the
+        # cache holds no simulator handle, so the tap lives here).
+        self.recorder = None
 
     # ------------------------------------------------------------------
     def _priority(self, entry: CacheEntry, sid: str, tier: str) -> float:
@@ -180,6 +183,23 @@ class HostParamCache:
             victim = self._pick_victim(entries, sid, tier)
             entries.remove(victim)
             release(victim.nbytes)
+            if self.recorder is not None:
+                # The cache keeps no clock; the inserting entry's
+                # last_used carries the put timestamp.
+                self.recorder.record(
+                    entry.last_used,
+                    "cache_eviction",
+                    server=sid,
+                    tier=tier,
+                    policy=self.policy,
+                    model=victim.model,
+                    range=(victim.start, victim.end),
+                    nbytes=victim.nbytes,
+                    freq=victim.freq,
+                    hvalue=victim.hvalue,
+                    clock=self._clock.get((sid, tier), 0.0),
+                    for_model=entry.model,
+                )
             if tier == "host":
                 self._demote(server, victim)
         entries.append(entry)

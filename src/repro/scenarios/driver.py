@@ -63,12 +63,16 @@ class ScenarioCase:
     The value is the *worker-process* count only — the decomposition into
     shard groups is a pure function of the spec, so results are identical
     for every ``shards >= 1`` (and the cache key records just the mode).
+
+    ``trace``: arm the observability taps (span tracer + fleet flight
+    recorder) for this run.  Traced runs never consult the result cache.
     """
 
     spec: ScenarioSpec
     system: str = "FlexPipe"
     seed: int = 0
     shards: int = 0
+    trace: bool = False
 
 
 @dataclass
@@ -133,6 +137,9 @@ class ScenarioReport:
     shards: int = 0  # shard *groups* the run decomposed into
     shard_fallback: str = ""  # why a --shards run fell back to one shard
     engine_events: int = 0  # total simulator events across all shards
+    # --- observability (empty unless the case asked for tracing) ---
+    traces: list = field(default_factory=list)  # FinalTrace rows
+    fleet_events: list = field(default_factory=list)  # FleetEvent rows
 
     @property
     def ok(self) -> bool:
@@ -312,6 +319,10 @@ class ScenarioDriver:
                 overrides["scale_in_idle_window"] = spec.idle_window
         system = CHAOS_SYSTEMS[case.system](ctx, cfg, **overrides)
         self.system = system
+        self.tracer = None
+        self.recorder = None
+        if case.trace:
+            self._install_tracing()
         try:
             system.start()
         except AllocationError:
@@ -327,6 +338,31 @@ class ScenarioDriver:
             (spec.settle, self._open_epoch)
         ]
         self._started = True
+
+    def _install_tracing(self) -> None:
+        """Arm the observability taps (tracer + flight recorder).
+
+        Installation is pure attribute assignment — no events are
+        scheduled and no RNG is drawn — so the simulated run is identical
+        to an untraced one; only the recording differs.
+        """
+        from repro.observability import FlightRecorder, SpanTracer
+
+        sim = self.sim
+        self.tracer = SpanTracer()
+        self.recorder = FlightRecorder()
+        sim.tracer = self.tracer
+        sim.recorder = self.recorder
+        allocator = self.system.ctx.allocator
+        allocator.recorder = self.recorder
+        # The allocator stamps events through its elastic-shares clock;
+        # arm it here so borrow/preemption events carry simulation time
+        # even when elastic contracts never turn on (enable_elastic_shares
+        # later replaces it with an equivalent sim-now closure).
+        allocator._clock = lambda: sim.now
+        cache = getattr(self.system, "warm_cache", None)
+        if cache is not None:
+            cache.recorder = self.recorder
 
     def _open_epoch(self) -> None:
         """At the traffic epoch: arm gates, auditor, injector, workloads."""
@@ -362,6 +398,8 @@ class ScenarioDriver:
                 else None
             )
             self.gate = AdmissionGate(system.submit, policy)
+        if self.recorder is not None:
+            self.gate.recorder = self.recorder
         # Streaming accounting: per-tenant collectors are fed at arrival
         # time (admitted requests only), so generators never need to
         # retain the full request population for post-hoc replay.
@@ -413,7 +451,11 @@ class ScenarioDriver:
         all_generators = [g for gens in self.generators.values() for g in gens]
         self.auditor.generators = all_generators
         self._record(self.auditor.audit_quiesce())
-        return self._report(self.epoch)
+        report = self._report(self.epoch)
+        if self.tracer is not None:
+            report.traces = list(self.tracer.finalized)
+            report.fleet_events = list(self.recorder.events)
+        return report
 
     # ------------------------------------------------------------------
     def _total_queue(self) -> int:

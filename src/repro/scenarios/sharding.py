@@ -258,11 +258,11 @@ class ScenarioShardProgram(ShardProgram):
 
     lookahead = math.inf
 
-    def __init__(self, group: ShardGroup, system: str):
+    def __init__(self, group: ShardGroup, system: str, trace: bool = False):
         super().__init__()
         self.group = group
         self.driver = ScenarioDriver(
-            ScenarioCase(group.spec, system, group.seed),
+            ScenarioCase(group.spec, system, group.seed, trace=trace),
             server_indices=group.server_indices,
         )
 
@@ -296,7 +296,13 @@ def _build_slice(
     episodes = detect_stalls(
         [r.completion_time for r in done], [r.latency for r in done]
     )
-    scale_outs = [e for e in metrics.events if e.kind == "scale_out"]
+    # Epoch-filtered like the collector's summarize: pre-epoch warm-up
+    # deploys/refactors stay out of the merged warm-start accounting.
+    scale_outs = [
+        e
+        for e in metrics.events
+        if e.kind == "scale_out" and e.time >= epoch
+    ]
     system = driver.system
     # Requests still parked in an accounted queue at quiesce (the same
     # residency the auditor's request-conservation invariant credits):
@@ -330,7 +336,11 @@ def _build_slice(
         wait_times=[e.wait_time for e in scale_outs],
         warm_starts=sum(1 for e in scale_outs if e.warm),
         refactor_count=len(
-            [e for e in metrics.events if e.kind == "refactor"]
+            [
+                e
+                for e in metrics.events
+                if e.kind == "refactor" and e.time >= epoch
+            ]
         ),
         resident=resident,
     )
@@ -349,14 +359,14 @@ def run_sharded_case(case: ScenarioCase) -> ScenarioReport:
     plan = partition_scenario(case.spec, case.seed)
     if not plan.sharded:
         report = ScenarioDriver(
-            ScenarioCase(case.spec, case.system, case.seed)
+            ScenarioCase(case.spec, case.system, case.seed, trace=case.trace)
         ).run()
         report.shards = 1
         report.shard_fallback = plan.fallback
         return report
     coordinator = ShardCoordinator(
         [
-            (ScenarioShardProgram, (group, case.system))
+            (ScenarioShardProgram, (group, case.system, case.trace))
             for group in plan.groups
         ],
         horizon=case.spec.horizon,
@@ -420,6 +430,18 @@ def merge_shard_reports(
                 per_model[name] = r.per_model[name]
                 tenants[name] = r.tenants[name]
 
+    # Traced runs: merge the per-shard span trees and recorder events,
+    # re-tagging each row with its shard of origin (provenance survives
+    # the merge; ordering is a pure function of the plan).
+    traces: list = []
+    fleet_events: list = []
+    if any(s.report.traces or s.report.fleet_events for s in slices):
+        from repro.observability import merge_shard_traces
+
+        traces, fleet_events = merge_shard_traces(
+            [(s.index, s.report.traces, s.report.fleet_events) for s in slices]
+        )
+
     return ScenarioReport(
         scenario=spec.name,
         system=case.system,
@@ -437,6 +459,8 @@ def merge_shard_reports(
         shards=len(slices),
         shard_fallback=plan.fallback,
         engine_events=sum(s.engine_events for s in slices),
+        traces=traces,
+        fleet_events=fleet_events,
     )
 
 

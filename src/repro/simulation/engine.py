@@ -89,6 +89,12 @@ class Simulator:
         self._live = 0  # non-cancelled events currently in the heap
         self._dead = 0  # cancelled events awaiting compaction or pop
         self.events_processed = 0
+        # Observability taps (repro.observability): a SpanTracer /
+        # FlightRecorder installed here arms the hooks threaded through
+        # the serving stack.  Both None (the default) keeps every hook a
+        # single attribute read — untraced runs are byte-identical.
+        self.tracer = None
+        self.recorder = None
 
     @property
     def now(self) -> float:

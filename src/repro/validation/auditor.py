@@ -62,6 +62,10 @@ reduces to):
 ``allocator-empty``
     After shutdown + quiesce the allocator holds no live reservation and
     no GPU carries a stage allocation (no leaked reservations).
+``span-conservation``
+    Traced runs only: every finalized request trace tiles its latency
+    interval exactly — spans are contiguous, start at arrival and end at
+    completion — so tail attribution accounts for every second.
 """
 
 from __future__ import annotations
@@ -173,6 +177,7 @@ class InvariantAuditor:
         out += self._check_prepared_claims()
         out += self._check_inplace_service()
         out += self._check_partial_activation()
+        out += self._check_span_conservation()
         if expect_empty_allocator:
             out += self._check_allocator_empty()
         return out
@@ -767,6 +772,18 @@ class InvariantAuditor:
                     )
                 )
         return out
+
+    def _check_span_conservation(self) -> list[Violation]:
+        """Traced runs only: finalized spans tile each latency interval."""
+        tracer = getattr(getattr(self.system, "sim", None), "tracer", None)
+        if tracer is None:
+            return []
+        from repro.observability.attribution import conservation_violations
+
+        return [
+            Violation("span-conservation", problem)
+            for problem in conservation_violations(tracer.finalized)
+        ]
 
     def _check_allocator_empty(self) -> list[Violation]:
         out: list[Violation] = []

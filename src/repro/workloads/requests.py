@@ -34,6 +34,9 @@ class Request:
     exec_time: float = 0.0
     comm_time: float = 0.0
     rejected: bool = False
+    # Observability: the span tracer's per-request mark sheet (a
+    # repro.observability.tracer.RequestTrace); None unless tracing is on.
+    trace: object | None = None
 
     @property
     def latency(self) -> float | None:

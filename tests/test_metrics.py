@@ -85,6 +85,35 @@ class TestStallDetection:
     def test_too_few_samples_returns_empty(self):
         assert detect_stalls([1.0, 2.0], [1.0, 2.0]) == []
 
+    def test_empty_run(self):
+        assert detect_stalls([], []) == []
+        assert recovery_times([]) == []
+        assert median_recovery([]) == 0.0
+
+    def test_single_request_run(self):
+        assert detect_stalls([1.0], [2.0]) == []
+
+    def test_zero_baseline_returns_empty(self):
+        # All-zero latencies give a zero P25 baseline; the thresholds
+        # degenerate, so detection must bail rather than divide by it.
+        t = [float(i) for i in range(20)]
+        assert detect_stalls(t, [0.0] * 20) == []
+
+    def test_poisoned_series_detection_power(self):
+        """A deliberately injected stall window must be found (power
+        check): one episode, covering the poisoned span."""
+        n = 200
+        t = [float(i) for i in range(n)]
+        lat = [1.0] * n
+        for i in range(100, 121):
+            lat[i] = 5.0  # well past 1.5x the P25 baseline
+        episodes = detect_stalls(t, lat)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.start == pytest.approx(100.0, abs=3.0)
+        assert episode.end == pytest.approx(121.0, abs=3.0)
+        assert recovery_times(episodes)[0] > 0.0
+
     def test_mismatched_inputs_rejected(self):
         with pytest.raises(ValueError):
             detect_stalls([1.0], [1.0, 2.0])
@@ -145,6 +174,28 @@ class TestCollector:
         assert summary.warm_start_rate == pytest.approx(0.5)
         assert summary.mean_init_time == pytest.approx(3.0)
         assert summary.mean_alloc_wait == pytest.approx(0.5)
+
+    def test_events_respect_measure_from(self):
+        """Warm-up deploys must not pollute the measured epoch's event
+        stats (regression: events ignored ``measure_from``)."""
+        collector = MetricsCollector("sys")
+        # Warm-up transients before the epoch at t=5: a warm scale-out
+        # and a refactor that must both drop out of the summary.
+        collector.on_event(
+            ScalingEvent(1.0, "scale_out", warm=True, init_time=9.0, wait_time=9.0)
+        )
+        collector.on_event(ScalingEvent(2.0, "refactor"))
+        # The measured window: one cold scale-out, one refactor.
+        collector.on_event(
+            ScalingEvent(6.0, "scale_out", warm=False, init_time=2.0, wait_time=1.0)
+        )
+        collector.on_event(ScalingEvent(7.0, "refactor"))
+        summary = collector.summarize(10.0, measure_from=5.0)
+        assert summary.scale_out_count == 1
+        assert summary.refactor_count == 1
+        assert summary.warm_start_rate == pytest.approx(0.0)
+        assert summary.mean_init_time == pytest.approx(2.0)
+        assert summary.mean_alloc_wait == pytest.approx(1.0)
 
     def test_queue_samples_respect_measure_from(self):
         collector = MetricsCollector("sys")

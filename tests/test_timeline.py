@@ -131,6 +131,47 @@ class TestTimeline:
             assert back.series("s").times == tl.series("s").times
             assert back.series("s").values == tl.series("s").values
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_scalar_roundtrip_property(self, samples):
+        """Samples recorded as numpy scalars (the simulator's native
+        types) must survive CSV and JSON round-trips bit-exactly —
+        regression: ``repr(np.float64(...))`` broke ``from_csv``."""
+        import tempfile
+
+        import numpy as np
+
+        tl = Timeline()
+        for t, v in sorted(samples, key=lambda p: p[0]):
+            tl.record("s", np.float64(t), np.float64(v))
+        with tempfile.TemporaryDirectory() as tmp:
+            csv_path = pathlib.Path(tmp) / "t.csv"
+            json_path = pathlib.Path(tmp) / "t.json"
+            tl.to_csv(csv_path)
+            tl.to_json(json_path)
+            csv_back = Timeline.from_csv(csv_path)
+            json_back = Timeline.from_json(json_path)
+        if "s" in tl:
+            for back in (csv_back, json_back):
+                assert back.series("s").times == tl.series("s").times
+                assert back.series("s").values == tl.series("s").values
+
+    def test_record_coerces_to_builtin_float(self):
+        import numpy as np
+
+        s = Series("x")
+        s.record(np.float64(1.5), np.float32(2.5))
+        assert type(s.times[0]) is float
+        assert type(s.values[0]) is float
+
 
 class TestSparkline:
     def test_renders_extremes(self):
