@@ -699,6 +699,23 @@ def _run_trace(args) -> str:
         synthesize_azure_like,
     )
 
+    if args.trace_command == "synth2019":
+        from repro.workloads.azure2019 import (
+            synthesize_2019_dataset,
+            write_2019_dataset,
+        )
+
+        seed = args.seed if args.seed else 2019
+        dataset = synthesize_2019_dataset(
+            seed=seed, n_functions=args.functions, days=args.days
+        )
+        paths = write_2019_dataset(args.directory, dataset)
+        return (
+            f"wrote {len(paths)} file(s) to {args.directory}: "
+            f"{len(dataset.functions)} functions x {dataset.days} day(s) "
+            f"in the AzureFunctionsDataset2019 layout "
+            f"({int(dataset.counts.sum())} invocations, seed {seed})"
+        )
     if args.trace_command == "synth":
         rng = np.random.default_rng(args.seed)
         bundle = synthesize_azure_like(
@@ -860,6 +877,37 @@ def _run_trace_attr(args) -> int:
         f"\ntrace gates held: spans tile every latency interval and "
         f"{ttft99.attributed_fraction:.1%} of p99 TTFT seconds carry a cause."
     )
+    return 0
+
+
+def _run_docs_cli(args) -> int:
+    """``repro docs-cli``: render (or verify) the CLI reference."""
+    from repro.docs import render_cli_markdown
+
+    rendered = render_cli_markdown()
+    if args.check is not None:
+        try:
+            with open(args.check) as fh:
+                committed = fh.read()
+        except OSError as exc:
+            print(f"docs drift check failed: {exc}", file=sys.stderr)
+            return 1
+        if committed != rendered:
+            print(
+                f"docs drift: {args.check} does not match the argparse "
+                f"tree; regenerate with `python -m repro docs-cli "
+                f"--output {args.check}`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.check} matches the CLI ({len(rendered)} bytes).")
+        return 0
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(rendered)
+        print(f"wrote {args.output} ({len(rendered)} bytes)")
+        return 0
+    print(rendered, end="")
     return 0
 
 
@@ -1085,8 +1133,40 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--apps", type=int, default=40)
     synth.add_argument("--days", type=float, default=2.0)
     synth.add_argument("--rate", type=float, default=20.0, help="mean req/s")
+    synth2019 = trace_sub.add_parser(
+        "synth2019",
+        help="write a deterministic synthetic dataset in the real "
+        "AzureFunctionsDataset2019 layout (per-minute invocation counts "
+        "plus duration/memory percentile tables) — the same fixture the "
+        "azure-replay-2019 scenario replays",
+    )
+    synth2019.add_argument("directory", help="directory to write the day files into")
+    synth2019.add_argument(
+        "--functions", type=int, default=260, help="functions to synthesise"
+    )
+    synth2019.add_argument(
+        "--days", type=int, default=1, help="day files to write (d01..dNN)"
+    )
     stats = trace_sub.add_parser("stats", help="summarise a trace CSV")
     stats.add_argument("trace_file", help="CSV path to read")
+    docs_cli = sub.add_parser(
+        "docs-cli",
+        help="render docs/cli.md (the CLI reference) from this argparse "
+        "tree; --check verifies the committed file instead",
+    )
+    docs_cli.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the rendered markdown to PATH instead of stdout",
+    )
+    docs_cli.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="exit 1 unless the file at PATH matches the rendered output "
+        "(the docs drift gate; use docs/cli.md)",
+    )
     return parser
 
 
@@ -1098,7 +1178,9 @@ def main(argv: list[str] | None = None) -> int:
     if "trace" in argv:
         i = argv.index("trace")
         nxt = argv[i + 1] if i + 1 < len(argv) else None
-        if nxt is not None and nxt not in ("run", "synth", "stats", "-h", "--help"):
+        if nxt is not None and nxt not in (
+            "run", "synth", "synth2019", "stats", "-h", "--help",
+        ):
             argv.insert(i + 1, "run")
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -1126,4 +1208,6 @@ def main(argv: list[str] | None = None) -> int:
             return _run_trace_attr(args)
         print(_run_trace(args))
         return 0
+    if args.command == "docs-cli":
+        return _run_docs_cli(args)
     raise AssertionError(f"unhandled command {args.command!r}")

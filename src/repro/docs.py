@@ -1,0 +1,130 @@
+"""Render the CLI reference (``docs/cli.md``) from the argparse tree.
+
+``repro docs-cli`` walks :func:`repro.cli.build_parser` and emits one
+markdown section per subcommand, so the committed reference can never
+describe a flag the parser does not accept.  The drift gate
+(``repro docs-cli --check docs/cli.md``, also asserted by
+``tests/test_docs.py``) fails CI whenever the parser changes without the
+file being regenerated.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+_BANNER = (
+    "<!-- GENERATED FILE - do not edit by hand.\n"
+    "     Regenerate with:  python -m repro docs-cli --output docs/cli.md\n"
+    "     CI asserts this file matches the emitter output. -->"
+)
+
+
+def _option_label(action: argparse.Action) -> str:
+    """``--shards N`` / ``--quick`` / positional ``name``."""
+    if not action.option_strings:
+        return action.metavar or action.dest
+    label = ", ".join(action.option_strings)
+    if action.nargs == 0:
+        return label
+    metavar = action.metavar or action.dest.upper()
+    return f"{label} {metavar}"
+
+
+def _iter_actions(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction, argparse._SubParsersAction)):
+            continue
+        yield action
+
+
+def _subparsers(parser: argparse.ArgumentParser):
+    """The (name, parser) pairs of a parser's subcommand table, if any."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            # choices preserves registration order and drops aliases'
+            # duplicate parser objects only if aliased (we use none).
+            return list(action.choices.items())
+    return []
+
+
+def _clean(text: str | None) -> str:
+    return " ".join((text or "").split())
+
+
+def _emit_table(lines: list[str], parser: argparse.ArgumentParser) -> None:
+    actions = list(_iter_actions(parser))
+    if not actions:
+        return
+    lines.append("| argument | default | description |")
+    lines.append("| --- | --- | --- |")
+    for action in actions:
+        default = ""
+        if action.option_strings and action.nargs != 0:
+            if action.default is not None and action.default != argparse.SUPPRESS:
+                default = f"`{action.default}`"
+        help_text = _clean(action.help).replace("|", "\\|")
+        lines.append(f"| `{_option_label(action)}` | {default} | {help_text} |")
+    lines.append("")
+
+
+def render_cli_markdown() -> str:
+    """The full ``docs/cli.md`` body, terminated by a newline."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    lines = [
+        _BANNER,
+        "",
+        "# `repro` CLI reference",
+        "",
+        _clean(parser.description),
+        "",
+        "Invoke as `python -m repro <command>` (examples below use the",
+        "short form `repro <command>`).  Global flags precede the",
+        "command: `repro --jobs 4 --no-cache scenario run --all`.",
+        "",
+        "## Global flags",
+        "",
+    ]
+    _emit_table(lines, parser)
+    for name, sub in _subparsers(parser):
+        lines.append(f"## `repro {name}`")
+        lines.append("")
+        help_text = _clean(sub.description) or _clean(
+            next(
+                (
+                    c.help
+                    for a in parser._actions
+                    if isinstance(a, argparse._SubParsersAction)
+                    for c in a._choices_actions
+                    if c.dest == name
+                ),
+                "",
+            )
+        )
+        if help_text:
+            lines.append(help_text)
+            lines.append("")
+        _emit_table(lines, sub)
+        for sub_name, nested in _subparsers(sub):
+            lines.append(f"### `repro {name} {sub_name}`")
+            lines.append("")
+            nested_help = _clean(
+                next(
+                    (
+                        c.help
+                        for a in sub._actions
+                        if isinstance(a, argparse._SubParsersAction)
+                        for c in a._choices_actions
+                        if c.dest == sub_name
+                    ),
+                    "",
+                )
+            )
+            if nested_help:
+                lines.append(nested_help)
+                lines.append("")
+            _emit_table(lines, nested)
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"

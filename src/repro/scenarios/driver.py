@@ -150,11 +150,13 @@ class ScenarioReport:
 # Segment compilation
 # ----------------------------------------------------------------------
 def _make_segment_arrivals(
-    segment: ArrivalSegment, rng, trace_rng
+    segment: ArrivalSegment, rng, trace_rng, *, azure2019=None
 ):
     """Build the arrival process for one segment (at the segment's start)."""
     if segment.kind == "steady":
         return make_arrivals(segment.qps, segment.cv, rng)
+    if segment.kind == "azure2019":
+        return _make_azure2019_arrivals(segment, azure2019, rng)
     if segment.kind == "burst":
         # Spec validation guarantees cv > 1 (MMPP's requirement), so the
         # declared intensity is honoured exactly.
@@ -182,6 +184,34 @@ def _make_segment_arrivals(
     from repro.workloads.arrivals import ReplayArrivals
 
     return ReplayArrivals(trace.generate(segment.duration), rng)
+
+
+def _make_azure2019_arrivals(segment: ArrivalSegment, source, rng):
+    """Replay one AzureFunctionsDataset2019 function, fully streaming.
+
+    The scenario's source block names the dataset window; the segment
+    names one function of it.  The whole window maps onto the segment's
+    duration (``scale = duration / window_seconds``), so a
+    time-compressed ``--quick`` run still replays every trace minute.
+    Minting is the vectorised lazy generator — ``ReplayArrivals`` takes
+    its streaming path, so the full request list never materialises —
+    and draws no randomness, so playback is identical under any shard
+    decomposition.
+    """
+    from repro.workloads.arrivals import ReplayArrivals
+    from repro.workloads.azure2019 import (
+        iter_minted_stamps,
+        load_window_cached,
+    )
+
+    if source is None:
+        raise ValueError(
+            "azure2019 segment without a spec-level azure2019 source block"
+        )
+    window = load_window_cached(source)
+    fn = window.function(segment.trace_function)
+    scale = segment.duration / source.window_seconds
+    return ReplayArrivals(iter_minted_stamps(fn.counts, scale=scale), rng)
 
 
 def _make_azure_arrivals(segment: ArrivalSegment, rng, trace_rng):
@@ -497,6 +527,7 @@ class ScenarioDriver:
             segment,
             self.streams.stream(f"arrivals{tag}"),
             self.streams.stream(f"trace{tag}"),
+            azure2019=self.spec.azure2019,
         )
         sampler = make_workload_sampler(
             model_cfg,
@@ -681,7 +712,7 @@ def run_scenario_case(case: ScenarioCase) -> ScenarioReport:
         )
 
 
-_CACHE_VERSION = 4
+_CACHE_VERSION = 5
 
 
 def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:
@@ -691,6 +722,12 @@ def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:
     worker count: sharded results are shard-count-invariant by
     construction, so ``--shards 2`` and ``--shards 4`` share a cache
     entry (exactly like the runner's jobs-invariance).
+
+    Trace-replay scenarios additionally key on the trace data: the
+    azure2019 source block (window, top-K, seed) rides in the spec dict,
+    and the files behind a real ``dataset_dir`` contribute a content
+    fingerprint — replacing the dataset on disk invalidates the cached
+    cell even though the spec is unchanged.
     """
     payload = {
         "version": _CACHE_VERSION,
@@ -700,6 +737,10 @@ def scenario_cache_key(case: ScenarioCase, fingerprint: str) -> str:
         "sharded": case.shards > 0,
         "spec": case.spec.to_dict(),
     }
+    if case.spec.azure2019 is not None:
+        from repro.workloads.azure2019 import dataset_fingerprint
+
+        payload["trace_data"] = dataset_fingerprint(case.spec.azure2019)
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
 

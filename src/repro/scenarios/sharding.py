@@ -139,11 +139,44 @@ def _assign_servers(
     return [tuple(sorted(indices)) for indices in out]
 
 
+def _pack_tenants(weights: list[float], n_groups: int) -> list[list[int]]:
+    """Deal tenant indices into ``n_groups`` balanced groups (LPT greedy).
+
+    Tenants in (traffic weight desc, spec index) order each join the
+    currently lightest group (ties to the lowest group index) — the
+    classic longest-processing-time heuristic, and a pure function of
+    the weights, so the grouping is identical in every process.  With
+    ``n_groups == len(weights)`` this degenerates to the historical
+    one-tenant-per-group layout in spec order.
+    """
+    k = len(weights)
+    if n_groups == k:
+        return [[i] for i in range(k)]
+    membership: list[list[int]] = [[] for _ in range(n_groups)]
+    load = [0.0] * n_groups
+    for i in sorted(range(k), key=lambda i: (-weights[i], i)):
+        g = min(range(n_groups), key=lambda j: (load[j], j))
+        membership[g].append(i)
+        load[g] += weights[i]
+    return [sorted(members) for members in membership]
+
+
 def partition_scenario(spec: ScenarioSpec, seed: int = 0) -> ShardPlan:
     """Decompose a scenario into tenant-affine shard groups.
 
-    Returns a single-group plan (with ``fallback`` set) when the scenario
-    cannot be partitioned; callers then run the monolithic driver.
+    One group per tenant when the cluster can give every tenant a
+    ``MIN_SERVERS_PER_GROUP`` slice (the historical layout).  Fleets too
+    large for that — the production-scale trace replays, hundreds of
+    tenants on tens of servers — *pack* tenants into as many groups as
+    the cluster supports, balanced by traffic weight (for azure2019
+    tenants the segment ``qps`` carries the trace's invocation volume,
+    so slices follow the trace).  Packing only engages when every group
+    still multiplexes at least two tenants; awkward in-between fleets
+    keep the historical single-shard fallback.
+
+    Returns a single-group plan (with ``fallback`` set) when the
+    scenario cannot be partitioned; callers then run the monolithic
+    driver.
     """
     if spec.qos_enabled:
         return _fallback(spec, seed, "qos control plane is fleet-global")
@@ -151,7 +184,12 @@ def partition_scenario(spec: ScenarioSpec, seed: int = 0) -> ShardPlan:
         return _fallback(spec, seed, "single-tenant fleet")
     placements = server_placements(spec.cluster)
     k = len(spec.models)
-    if len(placements) < MIN_SERVERS_PER_GROUP * k:
+    max_groups = len(placements) // MIN_SERVERS_PER_GROUP
+    if len(placements) >= MIN_SERVERS_PER_GROUP * k:
+        n_groups = k
+    elif max_groups >= 2 and k >= 2 * max_groups:
+        n_groups = max_groups
+    else:
         return _fallback(
             spec,
             seed,
@@ -160,31 +198,48 @@ def partition_scenario(spec: ScenarioSpec, seed: int = 0) -> ShardPlan:
         )
 
     weights = [_traffic_weight(m) for m in spec.models]
-    floors = [_min_gpus(m) for m in spec.models]
-    slices = _assign_servers(placements, weights, floors)
+    membership = _pack_tenants(weights, n_groups)
+    group_weights = [sum(weights[i] for i in members) for members in membership]
+    # A group's floor holds the largest single replica among its
+    # tenants; the weight-proportional deal covers the rest.
+    group_floors = [
+        max(_min_gpus(spec.models[i]) for i in members)
+        for members in membership
+    ]
+    slices = _assign_servers(placements, group_weights, group_floors)
 
     # Scripted events follow their target tenant; fleet-wide events
     # (model=None) deal round-robin over groups by script position — a
     # function of the spec alone, so the assignment is worker-invariant.
-    events_by_group: list[list] = [[] for _ in range(k)]
-    model_group = {m.model: g for g, m in enumerate(spec.models)}
+    events_by_group: list[list] = [[] for _ in range(n_groups)]
+    model_group = {
+        spec.models[i].model: g
+        for g, members in enumerate(membership)
+        for i in members
+    }
     for i, event in enumerate(spec.events):
-        g = model_group[event.model] if event.model is not None else i % k
+        g = (
+            model_group[event.model]
+            if event.model is not None
+            else i % n_groups
+        )
         events_by_group[g].append(event)
 
     duration = spec.duration
-    # Each group gets a ceil-proportional slice of the backlog cap (one
-    # tenant per group), so the summed cap is never below the parent's.
-    cap = (
-        int(math.ceil(spec.admission_cap / len(spec.models)))
-        if spec.admission_cap
-        else 0
-    )
     groups = []
-    for g, script in enumerate(spec.models):
+    for g, members in enumerate(membership):
+        scripts = tuple(spec.models[i] for i in members)
+        names = tuple(s.model for s in scripts)
+        # Each group gets a ceil-proportional slice of the backlog cap,
+        # so the summed cap is never below the parent's.
+        cap = (
+            int(math.ceil(spec.admission_cap * len(members) / k))
+            if spec.admission_cap
+            else 0
+        )
         sub = replace(
             spec,
-            models=(script,),
+            models=scripts,
             events=tuple(events_by_group[g]),
             admission_cap=cap,
             min_duration=duration,
@@ -192,10 +247,10 @@ def partition_scenario(spec: ScenarioSpec, seed: int = 0) -> ShardPlan:
         groups.append(
             ShardGroup(
                 index=g,
-                models=(script.model,),
+                models=names,
                 spec=sub,
                 server_indices=slices[g],
-                seed=_shard_seed(seed, (script.model,)),
+                seed=_shard_seed(seed, names),
             )
         )
     return ShardPlan(scenario=spec.name, groups=tuple(groups))

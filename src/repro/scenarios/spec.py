@@ -27,8 +27,9 @@ from dataclasses import asdict, dataclass, replace
 from repro.models.zoo import get_model
 from repro.qos.classes import SLO_CLASSES
 from repro.scaling.warm_cache import CACHE_POLICIES
+from repro.workloads.azure2019 import Azure2019Source
 
-SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay", "azure")
+SEGMENT_KINDS = ("steady", "burst", "diurnal", "replay", "azure", "azure2019")
 EVENT_ACTIONS = ("reclaim", "fail_server", "drain", "refactor", "scale_out")
 CLUSTERS = ("paper", "small")
 QOS_MODES = ("auto", "on", "off")
@@ -64,6 +65,18 @@ class ArrivalSegment:
         ``qps`` mean rate.  ``trace_file`` names a CSV written by
         ``repro trace synth`` (or the real dataset); empty synthesises a
         seeded bundle in memory.  ``cv`` is ignored.
+    ``azure2019``
+        Replays one function of the real AzureFunctionsDataset2019
+        format through the streaming mint
+        (:func:`~repro.workloads.azure2019.iter_minted_stamps` feeding a
+        lazy :class:`~repro.workloads.arrivals.ReplayArrivals`).
+        ``trace_function`` names the function (its owner/app/function
+        hash key) inside the window described by the scenario's
+        ``azure2019`` source block; the *whole* window maps onto the
+        segment's ``[start, start + duration)``, so time compression
+        (``--quick``) still replays every trace minute.  ``qps`` should
+        carry the function's mean playback rate — it sizes shard slices
+        and admission splits — and ``cv`` is ignored.
 
     ``slo_class`` optionally overrides the tenant's QoS class for this
     segment's requests (e.g. an interactive tenant running a batch
@@ -79,6 +92,7 @@ class ArrivalSegment:
     amplitude: float = 0.6  # diurnal: peak swing as a fraction of qps
     period: float = 120.0  # diurnal: seconds per synthetic "day"
     trace_file: str = ""  # azure: CSV bundle path ("" = seeded synthetic)
+    trace_function: str = ""  # azure2019: function key inside the window
     slo_class: str | None = None  # per-segment QoS class override
 
     def __post_init__(self) -> None:
@@ -111,6 +125,16 @@ class ArrivalSegment:
         if self.trace_file and self.kind != "azure":
             raise ValueError(
                 f"trace_file only applies to azure segments, not {self.kind!r}"
+            )
+        if self.trace_function and self.kind != "azure2019":
+            raise ValueError(
+                f"trace_function only applies to azure2019 segments, "
+                f"not {self.kind!r}"
+            )
+        if self.kind == "azure2019" and not self.trace_function:
+            raise ValueError(
+                "azure2019 segments must name a trace_function "
+                "(a HashOwner/HashApp/HashFunction key in the window)"
             )
         if self.slo_class is not None and self.slo_class not in SLO_CLASSES:
             raise ValueError(
@@ -265,6 +289,12 @@ class ScenarioSpec:
     # what makes pipelined loading's sequenced transfers matter — on an
     # unsaturated link parallel stage loads always finish first.
     storage_gbps: float | None = None
+    # The AzureFunctionsDataset2019 trace source behind ``azure2019``
+    # segments: dataset directory ("" = the bundled deterministic
+    # fixture), absolute minute window, top-K selection and zoo-mapping
+    # seed.  One block per scenario — every azure2019 segment replays a
+    # function of this window.
+    azure2019: Azure2019Source | None = None
     # Floor on the traffic window.  Shard partitioning replaces a parent
     # scenario with per-shard sub-specs whose own segments/events may end
     # earlier; padding every sub-spec to the parent's duration keeps the
@@ -308,6 +338,14 @@ class ScenarioSpec:
             value = getattr(self, knob)
             if value is not None and value <= 0:
                 raise ValueError(f"{knob} must be positive: {value}")
+        uses_2019 = any(
+            s.kind == "azure2019" for m in self.models for s in m.segments
+        )
+        if uses_2019 and self.azure2019 is None:
+            raise ValueError(
+                f"scenario {self.name!r} has azure2019 segments but no "
+                f"azure2019 trace-source block"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -368,6 +406,9 @@ class ScenarioSpec:
         data["events"] = tuple(
             ScenarioEvent(**e) for e in data.get("events", ())
         )
+        source = data.get("azure2019")
+        if isinstance(source, dict):
+            data["azure2019"] = Azure2019Source(**source)
         return cls(**data)
 
     @classmethod

@@ -27,6 +27,18 @@ from repro.workloads.azure import (
     TraceReplayArrivals,
     synthesize_azure_like,
 )
+from repro.workloads.azure2019 import (
+    Azure2019Source,
+    Azure2019Window,
+    FunctionWindow,
+    dataset_fingerprint,
+    iter_minted_stamps,
+    load_window,
+    load_window_cached,
+    map_functions_to_zoo,
+    synthesize_2019_dataset,
+    write_2019_dataset,
+)
 from repro.workloads.splitwise import (
     CODING,
     CONVERSATION,
@@ -52,6 +64,16 @@ __all__ = [
     "TraceBundle",
     "TraceReplayArrivals",
     "synthesize_azure_like",
+    "Azure2019Source",
+    "Azure2019Window",
+    "FunctionWindow",
+    "dataset_fingerprint",
+    "iter_minted_stamps",
+    "load_window",
+    "load_window_cached",
+    "map_functions_to_zoo",
+    "synthesize_2019_dataset",
+    "write_2019_dataset",
     "SplitwiseScenario",
     "CONVERSATION",
     "CODING",
